@@ -1,0 +1,75 @@
+"""Ablation: revisited kernel fusion (Listing 2) on vs off.
+
+Measures, on the shared-input GEMM pair, what the fusion transformation buys:
+half the crossbar cell writes (endurance), one runtime call instead of two
+(offload overhead), and lower total energy.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, OffloadExecutor, compile_source
+from repro.eval.lifetime import SHARED_INPUT_GEMMS_SOURCE
+from repro.eval.tables import format_table
+
+from conftest import write_result
+
+N = 48
+
+
+def _run(enable_fusion: bool):
+    options = CompileOptions(enable_fusion=enable_fusion)
+    result = compile_source(SHARED_INPUT_GEMMS_SOURCE, options=options,
+                            size_hint={"N": N})
+    rng = np.random.default_rng(11)
+    arrays = {
+        "A": rng.random((N, N), dtype=np.float32),
+        "B": rng.random((N, N), dtype=np.float32),
+        "E": rng.random((N, N), dtype=np.float32),
+        "C": np.zeros((N, N), dtype=np.float32),
+        "D": np.zeros((N, N), dtype=np.float32),
+    }
+    outputs, report = OffloadExecutor().run(result.program, {"N": N}, arrays)
+    return result, outputs, report
+
+
+def test_fusion_ablation(benchmark):
+    _, _, fused_report = benchmark.pedantic(
+        lambda: _run(True), rounds=1, iterations=1
+    )
+    _, _, unfused_report = _run(False)
+
+    rows = [
+        ("crossbar cell writes", unfused_report.crossbar_cell_writes,
+         fused_report.crossbar_cell_writes),
+        ("kernel launches (BLAS calls)",
+         sum(1 for c in unfused_report.runtime_calls if "Gemm" in c),
+         sum(1 for c in fused_report.runtime_calls if "Gemm" in c)),
+        ("host offload energy (uJ)",
+         round(unfused_report.offload_energy_j * 1e6, 2),
+         round(fused_report.offload_energy_j * 1e6, 2)),
+        ("accelerator energy (uJ)",
+         round(unfused_report.accelerator_energy_j * 1e6, 2),
+         round(fused_report.accelerator_energy_j * 1e6, 2)),
+        ("total energy (uJ)",
+         round(unfused_report.total_energy_j * 1e6, 2),
+         round(fused_report.total_energy_j * 1e6, 2)),
+    ]
+    table = format_table(rows, headers=("Metric", "No fusion", "Fusion (batched)"))
+    write_result("ablation_fusion", table)
+
+    # Endurance: the shared operand is written once instead of twice.
+    assert unfused_report.crossbar_cell_writes == 2 * fused_report.crossbar_cell_writes
+    # Offload overhead: one batched launch instead of two GEMM launches.
+    assert fused_report.runtime_calls.count("polly_cimBlasGemmBatched") == 1
+    assert unfused_report.runtime_calls.count("polly_cimBlasSGemm") == 2
+    # Energy does not get worse by fusing.
+    assert fused_report.total_energy_j <= unfused_report.total_energy_j
+
+
+def test_fusion_preserves_results():
+    fused_result, fused_out, _ = _run(True)
+    _, unfused_out, _ = _run(False)
+    np.testing.assert_allclose(fused_out["C"], unfused_out["C"], rtol=1e-4)
+    np.testing.assert_allclose(fused_out["D"], unfused_out["D"], rtol=1e-4)
+    assert fused_result.report.fusion_groups

@@ -1,0 +1,89 @@
+"""Hardware ablations: double buffering and analog quantisation.
+
+* Double buffering (micro-engine): overlapping operand DMA with crossbar
+  compute should shorten the accelerator's kernel latency without changing
+  energy or results.
+* Quantized crossbar: running the same offloaded kernel with the 8-bit
+  analog path (two 4-bit PCM devices per cell, shared ADC) must stay within
+  a small relative error of the ideal-precision result while the energy
+  accounting is unchanged (Table I charges per operation, not per bit
+  pattern).
+"""
+
+import numpy as np
+import pytest
+
+from repro import OffloadExecutor, compile_source
+from repro.eval.tables import format_table
+from repro.system import CimSystem, SystemConfig
+from repro.workloads import get_kernel
+
+from conftest import write_result
+
+DATASET = "SMALL"
+
+
+def _run_gemm(config: SystemConfig):
+    kernel = get_kernel("gemm")
+    params = kernel.params(DATASET)
+    arrays = kernel.arrays(DATASET, seed=5)
+    result = compile_source(kernel.source, size_hint=params)
+    system = CimSystem(config)
+    outputs, report = OffloadExecutor(system).run(result.program, params, arrays)
+    return outputs, report, kernel.numpy_reference(params, arrays)
+
+
+def test_double_buffering_ablation(benchmark):
+    _, with_db, _ = benchmark.pedantic(
+        lambda: _run_gemm(SystemConfig(double_buffering=True)), rounds=1, iterations=1
+    )
+    _, without_db, _ = _run_gemm(SystemConfig(double_buffering=False))
+
+    table = format_table(
+        [
+            ("accelerator latency (us)",
+             f"{without_db.accelerator_time_s * 1e6:.1f}",
+             f"{with_db.accelerator_time_s * 1e6:.1f}"),
+            ("accelerator energy (uJ)",
+             f"{without_db.accelerator_energy_j * 1e6:.2f}",
+             f"{with_db.accelerator_energy_j * 1e6:.2f}"),
+            ("GEMV operations", without_db.gemv_count, with_db.gemv_count),
+        ],
+        headers=("Metric", "No double buffering", "Double buffering"),
+    )
+    write_result("ablation_double_buffering", table)
+
+    assert with_db.accelerator_time_s < without_db.accelerator_time_s
+    assert with_db.accelerator_energy_j == pytest.approx(
+        without_db.accelerator_energy_j, rel=1e-6
+    )
+    assert with_db.gemv_count == without_db.gemv_count
+
+
+def test_quantized_crossbar_ablation(benchmark):
+    ideal_out, ideal_report, reference = benchmark.pedantic(
+        lambda: _run_gemm(SystemConfig.paper_default()), rounds=1, iterations=1
+    )
+    quant_out, quant_report, _ = _run_gemm(SystemConfig.quantized())
+
+    ideal_err = np.abs(ideal_out["C"] - reference["C"]).max() / np.abs(reference["C"]).max()
+    quant_err = np.abs(quant_out["C"] - reference["C"]).max() / np.abs(reference["C"]).max()
+    table = format_table(
+        [
+            ("max relative error", f"{ideal_err:.2e}", f"{quant_err:.2e}"),
+            ("accelerator energy (uJ)",
+             f"{ideal_report.accelerator_energy_j * 1e6:.2f}",
+             f"{quant_report.accelerator_energy_j * 1e6:.2f}"),
+            ("crossbar cell writes",
+             ideal_report.crossbar_cell_writes, quant_report.crossbar_cell_writes),
+        ],
+        headers=("Metric", "Ideal crossbar", "Quantized 2x4-bit crossbar"),
+    )
+    write_result("ablation_quantized", table)
+
+    assert ideal_err < 1e-4
+    assert quant_err < 0.05
+    assert quant_report.crossbar_cell_writes == ideal_report.crossbar_cell_writes
+    assert quant_report.accelerator_energy_j == pytest.approx(
+        ideal_report.accelerator_energy_j, rel=1e-6
+    )

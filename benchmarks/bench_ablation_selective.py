@@ -1,0 +1,72 @@
+"""Ablation: offload-everything vs selective (cost-model driven) offloading.
+
+The paper offloads every detected kernel and reports a separate "Selective
+Geomean" that excludes the GEMV-like kernels.  With the compute-intensity
+heuristic enabled (``CompileOptions.selective``), the compiler itself keeps
+the GEMV-like kernels on the host; the whole-suite geometric-mean energy
+improvement must then match the selective geomean of the offload-everything
+configuration for the GEMM-like kernels, and never be worse than 1x for the
+kernels kept on the host.
+"""
+
+import pytest
+
+from repro.compiler import CompileOptions
+from repro.eval import evaluate_kernel, geometric_mean
+from repro.eval.tables import format_table
+from repro.workloads import PAPER_KERNELS, get_kernel
+
+from conftest import write_result
+
+DATASET = "SMALL"
+
+
+def _energy_improvements(options):
+    improvements = {}
+    for name in PAPER_KERNELS:
+        evaluation = evaluate_kernel(name, dataset=DATASET, options=options)
+        improvements[name] = evaluation.energy_improvement
+    return improvements
+
+
+def test_selective_offloading(benchmark):
+    offload_all = benchmark.pedantic(
+        lambda: _energy_improvements(CompileOptions()), rounds=1, iterations=1
+    )
+    selective = _energy_improvements(CompileOptions.selective(threshold=32.0))
+
+    rows = []
+    for name in PAPER_KERNELS:
+        rows.append(
+            (
+                name,
+                get_kernel(name).category,
+                f"{offload_all[name]:.2f}x",
+                f"{selective[name]:.2f}x",
+            )
+        )
+    rows.append(
+        (
+            "Geomean",
+            "",
+            f"{geometric_mean(offload_all.values()):.2f}x",
+            f"{geometric_mean(selective.values()):.2f}x",
+        )
+    )
+    table = format_table(
+        rows,
+        headers=("Kernel", "Category", "Offload everything", "Selective offload"),
+    )
+    write_result("ablation_selective", table)
+
+    # Selective offloading keeps GEMV-like kernels on the host: their
+    # "improvement" is exactly 1x (same program), never a regression.
+    for name in ("gesummv", "bicg", "mvt"):
+        assert selective[name] == pytest.approx(1.0, rel=1e-6)
+        assert offload_all[name] < 2.0
+    # GEMM-like kernels are offloaded in both configurations.
+    for name in ("2mm", "3mm", "gemm", "conv"):
+        assert selective[name] == pytest.approx(offload_all[name], rel=1e-6)
+        assert selective[name] > 1.0
+    # The suite-wide geomean improves when the compiler is selective.
+    assert geometric_mean(selective.values()) > geometric_mean(offload_all.values())

@@ -1,0 +1,44 @@
+"""Figure 5: system lifetime vs PCM cell endurance, naive vs smart mapping.
+
+Two modes are benchmarked:
+
+* the paper-scale analytical projection (4096x4096 byte-element matrices,
+  Eq. (1)), which reproduces the years-scale curves and the 2x gap;
+* the simulation-backed study (small matrices through the full compiler +
+  accelerator), which verifies that kernel fusion really halves the number
+  of crossbar cell writes.
+"""
+
+import pytest
+
+from repro.eval import figure5, figure5_simulated, format_figure5
+
+from conftest import write_result
+
+
+def test_figure5_projected(benchmark):
+    data = benchmark(figure5)
+    text = format_figure5(data)
+    write_result("fig5_lifetime_projected", text)
+    # Paper shape: ~2x lifetime improvement, linear in endurance, and the
+    # projected lifetimes fall in the years range of the paper's y-axis.
+    assert data.lifetime_improvement == pytest.approx(2.0)
+    naive = dict(data.naive_curve())
+    smart = dict(data.smart_curve())
+    assert smart[10e6] == pytest.approx(2 * naive[10e6])
+    assert naive[40e6] == pytest.approx(4 * naive[10e6])
+    assert 1.0 < naive[10e6] < 100.0
+    assert 1.0 < smart[40e6] < 100.0
+
+
+def test_figure5_simulated(benchmark):
+    data = benchmark.pedantic(
+        figure5_simulated, kwargs={"matrix_size": 48}, rounds=1, iterations=1
+    )
+    text = format_figure5(data)
+    write_result("fig5_lifetime_simulated", text)
+    assert data.write_volume_ratio == pytest.approx(2.0)
+    assert data.lifetime_improvement == pytest.approx(2.0)
+    # The simulated naive mapping programs the shared operand twice.
+    assert data.naive.crossbar_bytes_written == pytest.approx(2 * 48 * 48)
+    assert data.smart.crossbar_bytes_written == pytest.approx(48 * 48)

@@ -1,0 +1,65 @@
+"""Figure 6 (right): energy-delay-product and runtime improvement per kernel.
+
+Regenerates the right panel of the paper's Figure 6.  Asserted shape: large
+positive EDP improvements for the GEMM-like kernels (the paper peaks at
+612x for gemm), negative (worse-than-host) EDP and runtime for the GEMV-like
+kernels.
+"""
+
+import pytest
+
+from repro.eval import figure6
+from repro.eval.tables import format_table
+
+from conftest import write_result
+
+DATASET = "MEDIUM"
+
+
+@pytest.fixture(scope="module")
+def figure6_data():
+    return figure6(dataset=DATASET)
+
+
+def _edp_table(data):
+    rows = [
+        (
+            row.kernel,
+            row.category,
+            f"{row.edp_improvement_signed:+.1f}x",
+            f"{row.runtime_improvement_signed:+.1f}x",
+        )
+        for row in data.rows
+    ]
+    rows.append(("Average (geomean)", "", f"{data.edp_average:+.1f}x", ""))
+    return format_table(
+        rows, headers=("Kernel", "Category", "EDP improvement", "Runtime improvement")
+    )
+
+
+def test_figure6_edp_panel(benchmark, figure6_data):
+    table = benchmark(_edp_table, figure6_data)
+    write_result("fig6_edp_medium", table)
+
+    best = figure6_data.best_edp_improvement
+    for row in figure6_data.rows:
+        if row.category == "gemm-like":
+            assert row.edp_improvement > 10.0, row.kernel
+            assert row.runtime_improvement > 1.0, row.kernel
+        else:
+            assert row.edp_improvement < 1.0, row.kernel
+            assert row.runtime_improvement < 1.0, row.kernel
+    # The peak EDP improvement is of the order the paper reports (612x);
+    # accept the simulator being within roughly an order of magnitude.
+    assert 60.0 < best < 10000.0
+    # gemm is among the top EDP winners, as in the paper.
+    gemm_row = figure6_data.row("gemm")
+    assert gemm_row.edp_improvement > 0.5 * best
+
+
+def test_figure6_runtime_follows_edp_trend(figure6_data):
+    """EDP improvement = energy improvement x runtime improvement."""
+    for row in figure6_data.rows:
+        assert row.edp_improvement == pytest.approx(
+            row.energy_improvement * row.runtime_improvement, rel=1e-9
+        )

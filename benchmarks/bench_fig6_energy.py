@@ -1,0 +1,54 @@
+"""Figure 6 (left): energy per kernel, host vs host+CIM, and MACs/CIM-write.
+
+Regenerates the left panel of the paper's Figure 6 for the seven evaluated
+PolyBench kernels.  Asserted shape (absolute numbers are simulator-specific,
+see EXPERIMENTS.md):
+
+* GEMM-like kernels (2mm, 3mm, gemm, conv) gain large energy improvements;
+* GEMV-like kernels (gesummv, bicg, mvt) are at best marginal — their
+  compute intensity (MACs per CIM write) is 1, so writes plus host-side
+  offload overhead dominate;
+* the selective geometric mean (GEMM-like only) is far above the overall
+  geometric mean, mirroring the paper's 32.6x "Selective Geomean" bar.
+"""
+
+import pytest
+
+from repro.eval import figure6, format_figure6
+
+from conftest import write_result
+
+DATASET = "MEDIUM"
+
+
+@pytest.fixture(scope="module")
+def figure6_data():
+    return figure6(dataset=DATASET)
+
+
+def test_figure6_energy_panel(benchmark, figure6_data):
+    data = benchmark.pedantic(
+        figure6, kwargs={"dataset": "SMALL"}, rounds=1, iterations=1
+    )
+    write_result("fig6_energy_small", format_figure6(data))
+    write_result("fig6_energy_medium", format_figure6(figure6_data))
+
+    for row in figure6_data.rows:
+        if row.category == "gemm-like":
+            assert row.energy_improvement > 5.0, row.kernel
+        else:
+            assert row.energy_improvement < 3.0, row.kernel
+    assert figure6_data.selective_energy_geomean > 10.0
+    assert figure6_data.selective_energy_geomean > 2 * figure6_data.energy_geomean
+
+
+def test_figure6_macs_per_write(figure6_data):
+    """The compute-intensity series plotted on the right axis of the left panel."""
+    intensity = {row.kernel: row.macs_per_cim_write for row in figure6_data.rows}
+    # GEMV-like kernels use every written matrix element exactly once.
+    for kernel in ("gesummv", "bicg", "mvt"):
+        assert intensity[kernel] == pytest.approx(1.0)
+    # GEMM-like kernels reuse every written element many times.
+    for kernel in ("2mm", "3mm", "gemm", "conv"):
+        assert intensity[kernel] > 50.0
+    assert intensity["gemm"] == pytest.approx(128.0)  # reuse factor = N

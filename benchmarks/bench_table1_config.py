@@ -1,0 +1,36 @@
+"""Table I: CIM and host system configuration.
+
+Regenerates the configuration/energy-model table the whole evaluation is
+parameterised by and checks the values against the paper's numbers.
+"""
+
+import pytest
+
+from repro.eval.tables import format_table1, table1_rows
+from repro.hw.energy import TABLE_I
+
+from conftest import write_result
+
+
+def test_table1_regeneration(benchmark):
+    text = benchmark(format_table1)
+    write_result("table1_config", text)
+    # Spot-check the headline Table I entries.
+    assert "IBM PCM 2x(256x256 @4-bit)" in text
+    assert "200 fJ" in text and "200 pJ" in text
+    assert "2x Arm-A7 @ 1.2 GHz" in text
+    assert "128 pJ" in text
+
+
+def test_table1_model_constants(benchmark):
+    rows = benchmark(table1_rows)
+    assert len(rows) >= 10
+    cim, host = TABLE_I.cim, TABLE_I.host
+    assert cim.compute_latency_per_gemv_s == pytest.approx(1e-6)
+    assert cim.write_latency_per_row_s == pytest.approx(2.5e-6)
+    assert cim.mixed_signal_energy_per_gemv_j == pytest.approx(3.9e-9)
+    assert cim.buffer_energy_per_byte_j == pytest.approx(5.4e-12)
+    assert cim.digital_weighted_sum_per_gemv_j == pytest.approx(40e-12)
+    assert cim.digital_alu_op_j == pytest.approx(2.11e-12)
+    assert cim.dma_microengine_energy_per_gemv_j == pytest.approx(0.78e-9)
+    assert host.l1_bytes == 32 * 1024 and host.l2_bytes == 2 * 1024 * 1024

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a ``setup.py`` allows
+``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
+``pip install -e .`` on modern toolchains) to work either way.
+"""
+
+from setuptools import setup
+
+setup()

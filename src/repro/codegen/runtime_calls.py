@@ -1,0 +1,200 @@
+"""Runtime-call interface emitted by device mapping.
+
+The names match the paper's Listing 1 (``polly_cim*``).  Each call statement
+carries one structured argument object; the objects render as the C-like
+argument lists Listing 1 shows, so ``repro.ir.to_source`` output of a
+compiled program reads like the paper's generated code.
+
+Dimension and scalar fields are IR expressions (parameters stay symbolic in
+the compiled program and are evaluated at run time by the executor); array
+fields are array *names* in the enclosing program; buffer fields are the
+symbolic device-buffer names (``cim_A`` etc.) introduced by device mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.ir.expr import Expr
+
+# Call names (Listing 1 of the paper).
+CIM_INIT = "polly_cimInit"
+CIM_MALLOC = "polly_cimMalloc"
+CIM_FREE = "polly_cimFree"
+CIM_HOST_TO_DEV = "polly_cimHostToDev"
+CIM_DEV_TO_HOST = "polly_cimDevToHost"
+CIM_GEMM = "polly_cimBlasSGemm"
+CIM_GEMV = "polly_cimBlasSGemv"
+CIM_GEMM_BATCHED = "polly_cimBlasGemmBatched"
+CIM_CONV2D = "polly_cimConv2D"
+
+ALL_RUNTIME_CALLS = (
+    CIM_INIT,
+    CIM_MALLOC,
+    CIM_FREE,
+    CIM_HOST_TO_DEV,
+    CIM_DEV_TO_HOST,
+    CIM_GEMM,
+    CIM_GEMV,
+    CIM_GEMM_BATCHED,
+    CIM_CONV2D,
+)
+
+
+@dataclass(frozen=True)
+class InitCallArgs:
+    """``polly_cimInit(device)``"""
+
+    device: int = 0
+
+    def __str__(self) -> str:
+        return str(self.device)
+
+
+@dataclass(frozen=True)
+class MallocCallArgs:
+    """``polly_cimMalloc((void**)&<buffer>, <size>)``
+
+    ``array`` is the host array whose data the buffer will hold; ``size`` is
+    a symbolic byte count.
+    """
+
+    buffer: str
+    array: str
+    size: Expr
+
+    def __str__(self) -> str:
+        return f"(void**)&{self.buffer}, {self.size}"
+
+
+@dataclass(frozen=True)
+class CopyCallArgs:
+    """``polly_cimHostToDev(buffer, host_array, size)`` (or DevToHost)."""
+
+    buffer: str
+    array: str
+    size: Expr
+
+    def __str__(self) -> str:
+        return f"{self.buffer}, {self.array}, {self.size}"
+
+
+@dataclass(frozen=True)
+class GemmCallArgs:
+    """``polly_cimBlasSGemm(transA, transB, M, N, K, alpha, A, lda, B, ldb,
+    beta, C, ldc)``"""
+
+    trans_a: bool
+    trans_b: bool
+    m: Expr
+    n: Expr
+    k: Expr
+    alpha: Expr
+    buffer_a: str
+    lda: Expr
+    buffer_b: str
+    ldb: Expr
+    beta: Expr
+    buffer_c: str
+    ldc: Expr
+    # Host arrays backing the buffers (used by the executor for data flow).
+    array_a: str = ""
+    array_b: str = ""
+    array_c: str = ""
+
+    def __str__(self) -> str:
+        ta = "CimTrans" if self.trans_a else "CimNoTrans"
+        tb = "CimTrans" if self.trans_b else "CimNoTrans"
+        return (
+            f"{ta}, {tb}, {self.m}, {self.n}, {self.k}, &{self.alpha}, "
+            f"{self.buffer_a}, {self.lda}, {self.buffer_b}, {self.ldb}, "
+            f"&{self.beta}, {self.buffer_c}, {self.ldc}"
+        )
+
+
+@dataclass(frozen=True)
+class GemvCallArgs:
+    """``polly_cimBlasSGemv(trans, M, N, alpha, A, lda, x, beta, y)``"""
+
+    trans_a: bool
+    m: Expr
+    n: Expr
+    alpha: Expr
+    buffer_a: str
+    lda: Expr
+    buffer_x: str
+    beta: Expr
+    buffer_y: str
+    array_a: str = ""
+    array_x: str = ""
+    array_y: str = ""
+
+    def __str__(self) -> str:
+        ta = "CimTrans" if self.trans_a else "CimNoTrans"
+        return (
+            f"{ta}, {self.m}, {self.n}, &{self.alpha}, {self.buffer_a}, "
+            f"{self.lda}, {self.buffer_x}, &{self.beta}, {self.buffer_y}"
+        )
+
+
+@dataclass(frozen=True)
+class BatchedGemmCallArgs:
+    """``polly_cimBlasGemmBatched(transA, transB, M, N, K, alpha, A[], lda,
+    B[], ldb, beta, C[], ldc, batchCount)``
+
+    The per-problem parameters are carried as a tuple of
+    :class:`GemmCallArgs`; the batch shares transpose flags.
+    """
+
+    problems: tuple[GemmCallArgs, ...]
+
+    def __post_init__(self) -> None:
+        if not self.problems:
+            raise ValueError("batched GEMM needs at least one problem")
+
+    @property
+    def trans_a(self) -> bool:
+        return self.problems[0].trans_a
+
+    @property
+    def trans_b(self) -> bool:
+        return self.problems[0].trans_b
+
+    def __str__(self) -> str:
+        first = self.problems[0]
+        ta = "CimTrans" if first.trans_a else "CimNoTrans"
+        tb = "CimTrans" if first.trans_b else "CimNoTrans"
+        a_list = ", ".join(p.buffer_a for p in self.problems)
+        b_list = ", ".join(p.buffer_b for p in self.problems)
+        c_list = ", ".join(p.buffer_c for p in self.problems)
+        return (
+            f"{ta}, {tb}, {first.m}, {first.n}, {first.k}, &{first.alpha}, "
+            f"{{{a_list}}}, {first.lda}, {{{b_list}}}, {first.ldb}, "
+            f"&{first.beta}, {{{c_list}}}, {first.ldc}, {len(self.problems)}"
+        )
+
+
+@dataclass(frozen=True)
+class Conv2DCallArgs:
+    """``polly_cimConv2D(outH, outW, kH, kW, alpha, img, W, beta, out)``"""
+
+    out_h: Expr
+    out_w: Expr
+    filter_h: Expr
+    filter_w: Expr
+    alpha: Expr
+    buffer_img: str
+    buffer_w: str
+    beta: Expr
+    buffer_out: str
+    array_img: str = ""
+    array_w: str = ""
+    array_out: str = ""
+
+    def __str__(self) -> str:
+        return (
+            f"{self.out_h}, {self.out_w}, {self.filter_h}, {self.filter_w}, "
+            f"&{self.alpha}, {self.buffer_img}, {self.buffer_w}, &{self.beta}, "
+            f"{self.buffer_out}"
+        )

@@ -1,0 +1,22 @@
+"""The TDO-CIM compiler driver (the paper's primary contribution).
+
+:class:`TdoCimCompiler` chains the whole Figure 4 pipeline: mini-C front-end
+→ SCoP detection → schedule-tree construction → Loop Tactics pattern
+matching → kernel fusion → (optional) crossbar-aware tiling → device mapping
+→ AST regeneration → program reassembly.  The output is a compiled program
+whose offloaded kernels have been replaced by CIM runtime calls, plus a
+report describing every decision the compiler made.
+"""
+
+from repro.compiler.options import CompileOptions
+from repro.compiler.report import CompilationReport, KernelDecision
+from repro.compiler.driver import TdoCimCompiler, CompilationResult, compile_source
+
+__all__ = [
+    "CompileOptions",
+    "CompilationReport",
+    "KernelDecision",
+    "TdoCimCompiler",
+    "CompilationResult",
+    "compile_source",
+]

@@ -1,0 +1,54 @@
+"""Compilation options (the ``-enable-loop-tactics`` family of flags)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompileOptions:
+    """Knobs of the TDO-CIM compilation flow.
+
+    The defaults correspond to the paper's ``clang -O3 -march-native
+    -enable-loop-tactics`` configuration: offloading enabled for every kernel
+    kind the accelerator supports, kernel fusion enabled, and no selectivity
+    (the paper offloads every detected kernel and reports a separate
+    "selective" geometric mean that excludes the GEMV-like kernels).
+    """
+
+    #: Master switch; with offloading disabled the compiler only reports what
+    #: it would have done (the plain ``-O3`` host baseline).
+    enable_offload: bool = True
+    #: Kernel kinds eligible for offloading.
+    offload_kinds: tuple[str, ...] = ("gemm", "gemv", "conv2d")
+    #: Fuse adjacent independent kernels into batched runtime calls.
+    enable_fusion: bool = True
+    #: Require fused kernels to share an input operand (endurance-oriented
+    #: fusion only); by default sharing is exploited when present but not
+    #: required.
+    fusion_requires_shared_input: bool = False
+    #: Apply the Listing 3 tiling + interchange to GEMMs whose operands do
+    #: not fit the crossbar.  The micro-engine also tiles internally, so this
+    #: is primarily an endurance/locality optimisation.
+    enable_tiling: bool = False
+    #: Crossbar geometry the compiler assumes for tiling decisions.
+    crossbar_rows: int = 256
+    crossbar_cols: int = 256
+    #: Selective offloading: skip kernels whose estimated compute intensity
+    #: (MACs per crossbar-cell write) is below this threshold.  ``None``
+    #: disables the heuristic (the paper's default behaviour); the paper's
+    #: "Selective Geomean" corresponds to a threshold of a few tens.
+    min_macs_per_write: float | None = None
+
+    def wants_kind(self, kind: str) -> bool:
+        return kind in self.offload_kinds
+
+    @staticmethod
+    def host_only() -> "CompileOptions":
+        """The ``-O3`` baseline: nothing is offloaded."""
+        return CompileOptions(enable_offload=False)
+
+    @staticmethod
+    def selective(threshold: float = 32.0) -> "CompileOptions":
+        """Offload only compute-intense kernels (GEMM-like)."""
+        return CompileOptions(min_macs_per_write=threshold)

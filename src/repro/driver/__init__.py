@@ -1,0 +1,26 @@
+"""Kernel-space CIM driver model (Figure 3, kernel space).
+
+The driver mediates every interaction between user space and the
+accelerator: it allocates physically-contiguous shared-memory buffers
+through a CMA-style allocator, translates user virtual addresses to the
+physical addresses the accelerator requires, exposes the context registers
+through an ioctl interface, flushes the host caches before triggering the
+accelerator (shared-memory coherence), and polls the status register for
+completion.  Every driver entry charges host instructions so the evaluation
+captures the offload overhead the paper attributes to the host.
+"""
+
+from repro.driver.cma import CMAAllocator, CMAError
+from repro.driver.address_translation import PageTable, TranslationError
+from repro.driver.ioctl import IoctlCommand
+from repro.driver.driver import CimDriver, DriverError
+
+__all__ = [
+    "CMAAllocator",
+    "CMAError",
+    "PageTable",
+    "TranslationError",
+    "IoctlCommand",
+    "CimDriver",
+    "DriverError",
+]

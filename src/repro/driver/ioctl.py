@@ -1,0 +1,22 @@
+"""ioctl command codes understood by the CIM driver."""
+
+from __future__ import annotations
+
+import enum
+
+
+class IoctlCommand(enum.IntEnum):
+    """Commands of the ``/dev/cim`` character device.
+
+    The numbering mimics Linux ``_IO``-style encodings with an arbitrary
+    magic number; the values only need to be stable within the simulation.
+    """
+
+    CIM_ALLOC = 0xC1A0_0001       # allocate a contiguous shared buffer
+    CIM_FREE = 0xC1A0_0002        # release a buffer
+    CIM_WRITE_REG = 0xC1A0_0003   # write one context register
+    CIM_READ_REG = 0xC1A0_0004    # read one context register
+    CIM_SUBMIT = 0xC1A0_0005      # write a whole kernel descriptor + start
+    CIM_WAIT = 0xC1A0_0006        # block until the accelerator is done
+    CIM_FLUSH = 0xC1A0_0007       # flush host caches for a buffer range
+    CIM_RESET = 0xC1A0_0008       # reset accelerator state

@@ -1,0 +1,38 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.eval.metrics` — geometric means, EDP, improvement factors.
+* :mod:`repro.eval.experiments` — per-kernel host vs host+CIM evaluation and
+  the Figure 6 data (energy, EDP, runtime, MACs-per-write).
+* :mod:`repro.eval.lifetime` — the Figure 5 endurance/lifetime study (naive
+  vs smart mapping of the Listing 2 fused kernels).
+* :mod:`repro.eval.tables` — Table I rendering and ASCII report formatting.
+"""
+
+from repro.eval.metrics import geometric_mean, improvement_factor, edp
+from repro.eval.experiments import (
+    KernelEvaluation,
+    Figure6Row,
+    Figure6Data,
+    evaluate_kernel,
+    figure6,
+)
+from repro.eval.lifetime import Figure5Data, figure5, figure5_simulated
+from repro.eval.tables import table1_rows, format_table, format_figure6, format_figure5
+
+__all__ = [
+    "geometric_mean",
+    "improvement_factor",
+    "edp",
+    "KernelEvaluation",
+    "Figure6Row",
+    "Figure6Data",
+    "evaluate_kernel",
+    "figure6",
+    "Figure5Data",
+    "figure5",
+    "figure5_simulated",
+    "table1_rows",
+    "format_table",
+    "format_figure6",
+    "format_figure5",
+]

@@ -1,0 +1,107 @@
+"""Table I and ASCII rendering of the evaluation results."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiments import Figure6Data
+from repro.eval.lifetime import Figure5Data
+from repro.hw.energy import table_i_rows
+
+# Re-exported so the evaluation layer is the single entry point for reports.
+table1_rows = table_i_rows
+
+
+def format_table(rows: Sequence[tuple], headers: Sequence[str]) -> str:
+    """Minimal fixed-width ASCII table."""
+    columns = [list(map(str, column)) for column in zip(headers, *rows)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_cells = [h.ljust(w) for h, w in zip(headers, widths)]
+    lines.append(" | ".join(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        cells = [str(cell).ljust(w) for cell, w in zip(row, widths)]
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_table1() -> str:
+    """Render Table I (system configuration and energy model)."""
+    return format_table(table1_rows(), headers=("Parameter", "Value"))
+
+
+def format_figure6(data: Figure6Data) -> str:
+    """Render the Figure 6 data as two tables (energy panel, EDP panel)."""
+    energy_rows = [
+        (
+            row.kernel,
+            row.category,
+            f"{row.host_energy_mj:.4f}",
+            f"{row.cim_energy_mj:.4f}",
+            f"{row.energy_improvement:.2f}x",
+            f"{row.macs_per_cim_write:.1f}",
+        )
+        for row in data.rows
+    ]
+    energy_rows.append(
+        ("Geomean", "", "", "", f"{data.energy_geomean:.2f}x", "")
+    )
+    energy_rows.append(
+        ("Selective Geomean", "gemm-like", "", "", f"{data.selective_energy_geomean:.2f}x", "")
+    )
+    left = format_table(
+        energy_rows,
+        headers=(
+            "Kernel",
+            "Category",
+            "Host energy (mJ)",
+            "Host+CIM energy (mJ)",
+            "Energy impr.",
+            "MACs / CIM write",
+        ),
+    )
+    edp_rows = [
+        (
+            row.kernel,
+            f"{row.edp_improvement_signed:+.2f}x",
+            f"{row.runtime_improvement_signed:+.2f}x",
+        )
+        for row in data.rows
+    ]
+    edp_rows.append(("Average", f"{data.edp_average:+.2f}x", ""))
+    right = format_table(
+        edp_rows,
+        headers=("Kernel", "EDP improvement", "Runtime improvement"),
+    )
+    return (
+        f"Figure 6 (dataset {data.dataset})\n\n"
+        f"Energy (left panel):\n{left}\n\nEDP / runtime (right panel):\n{right}"
+    )
+
+
+def format_figure5(data: Figure5Data) -> str:
+    """Render the Figure 5 lifetime curves."""
+    rows = []
+    for (endurance, naive_years), (_, smart_years) in zip(
+        data.naive_curve(), data.smart_curve()
+    ):
+        rows.append(
+            (
+                f"{endurance / 1e6:.0f}M",
+                f"{naive_years:.2f}",
+                f"{smart_years:.2f}",
+            )
+        )
+    table = format_table(
+        rows,
+        headers=(
+            "PCM cell endurance (writes)",
+            "Naive mapping (years)",
+            '"Smart" mapping (years)',
+        ),
+    )
+    return (
+        "Figure 5: system lifetime vs PCM endurance "
+        f"(smart/naive improvement {data.lifetime_improvement:.2f}x)\n" + table
+    )

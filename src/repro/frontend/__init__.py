@@ -1,0 +1,12 @@
+"""Mini-C front-end: the reproduction's stand-in for Clang.
+
+Parses the restricted C subset used by the PolyBench/C kernels the paper
+evaluates (affine ``for`` loops, array accesses, scalar parameters) and
+lowers it to the loop-nest IR in :mod:`repro.ir`.
+"""
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.frontend.parser import parse_program
+
+__all__ = ["FrontendError", "Token", "TokenKind", "tokenize", "parse_program"]

@@ -1,0 +1,17 @@
+"""Diagnostics for the mini-C front-end."""
+
+from __future__ import annotations
+
+
+class FrontendError(Exception):
+    """Syntax or semantic error in mini-C source.
+
+    Carries the 1-based line and column of the offending token so tests and
+    users get actionable messages.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        location = f" at line {line}, column {column}" if line else ""
+        super().__init__(f"{message}{location}")

@@ -1,0 +1,130 @@
+"""Tokenizer for the mini-C subset."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.frontend.errors import FrontendError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INT = "int"
+    FLOAT = "float"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "void",
+    "int",
+    "float",
+    "double",
+    "long",
+    "for",
+    "if",
+    "else",
+    "return",
+    "const",
+    "static",
+}
+
+# Multi-character punctuators must come before their single-char prefixes.
+_PUNCTUATORS = [
+    "+=",
+    "-=",
+    "*=",
+    "/=",
+    "++",
+    "--",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ";",
+    ",",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "&",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>[ \t\r\n]+)
+  | (?P<line_comment>//[^\n]*)
+  | (?P<block_comment>/\*.*?\*/)
+  | (?P<float>(\d+\.\d*|\.\d+)([eE][+-]?\d+)?[fF]?|\d+[eE][+-]?\d+[fF]?)
+  | (?P<int>\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>""" + "|".join(re.escape(p) for p in _PUNCTUATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source location (1-based)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.text!r}@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize mini-C source, raising :class:`FrontendError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    line_start = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise FrontendError(
+                f"unexpected character {source[pos]!r}", line=line, column=column
+            )
+        text = match.group(0)
+        column = pos - line_start + 1
+        kind_name = match.lastgroup
+        if kind_name in ("ws", "line_comment", "block_comment"):
+            pass  # skipped; only track newlines below
+        elif kind_name == "float":
+            tokens.append(Token(TokenKind.FLOAT, text, line, column))
+        elif kind_name == "int":
+            tokens.append(Token(TokenKind.INT, text, line, column))
+        elif kind_name == "ident":
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, column))
+        elif kind_name == "punct":
+            tokens.append(Token(TokenKind.PUNCT, text, line, column))
+        # Maintain line/column bookkeeping across the consumed text.
+        newline_count = text.count("\n")
+        if newline_count:
+            line += newline_count
+            line_start = pos + text.rfind("\n") + 1
+        pos = match.end()
+    tokens.append(Token(TokenKind.EOF, "", line, pos - line_start + 1))
+    return tokens

@@ -1,0 +1,334 @@
+"""Recursive-descent parser for the mini-C subset.
+
+The accepted language covers the PolyBench/C kernels the paper evaluates:
+
+* one ``void`` function per translation unit;
+* scalar parameters (``int M``, ``float alpha``) and array parameters with
+  symbolic or constant dimensions (``float A[M][K]``);
+* counted ``for`` loops with lower-bound initialisation, ``<``/``<=``
+  comparison against an expression, and ``++``/``+= const`` increments;
+* assignments ``=``, ``+=``, ``*=`` to array elements or scalars;
+* arithmetic expressions over parameters, induction variables, constants and
+  array accesses.
+
+The parser lowers directly to the loop-nest IR (:class:`repro.ir.Program`).
+Semantic checks: every identifier used must be a declared parameter, array,
+or an in-scope induction variable; array access rank must match the
+declaration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.errors import FrontendError
+from repro.frontend.lexer import Token, TokenKind, tokenize
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    FloatConst,
+    IntConst,
+    ParamRef,
+    UnaryOp,
+    VarRef,
+)
+from repro.ir.program import ArrayDecl, ParamDecl, Program
+from repro.ir.stmt import Assign, Block, Loop
+from repro.ir.types import ElementType
+
+
+def parse_program(source: str) -> Program:
+    """Parse mini-C *source* into an IR :class:`Program`."""
+    return _Parser(tokenize(source)).parse_translation_unit()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.program: Optional[Program] = None
+        self.loop_vars: list[str] = []
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, text: str) -> bool:
+        return self._peek().text == text and self._peek().kind is not TokenKind.EOF
+
+    def _accept(self, text: str) -> bool:
+        if self._check(text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, text: str) -> Token:
+        token = self._peek()
+        if token.text != text or token.kind is TokenKind.EOF:
+            raise FrontendError(
+                f"expected {text!r}, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        token = self._peek()
+        if token.kind is not TokenKind.IDENT:
+            raise FrontendError(
+                f"expected identifier, found {token.text!r}",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> FrontendError:
+        token = self._peek()
+        return FrontendError(message, line=token.line, column=token.column)
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_translation_unit(self) -> Program:
+        self._expect("void")
+        name = self._expect_ident().text
+        self.program = Program(name=name)
+        self._expect("(")
+        if not self._check(")"):
+            self._parse_parameter()
+            while self._accept(","):
+                self._parse_parameter()
+        self._expect(")")
+        self._expect("{")
+        while not self._check("}"):
+            self.program.body.append(self._parse_statement())
+        self._expect("}")
+        trailing = self._peek()
+        if trailing.kind is not TokenKind.EOF:
+            raise FrontendError(
+                "only one function per translation unit is supported",
+                line=trailing.line,
+                column=trailing.column,
+            )
+        return self.program
+
+    def _parse_type(self) -> ElementType:
+        while self._accept("const") or self._accept("static"):
+            pass
+        token = self._peek()
+        if token.text in ("int", "float", "double", "long"):
+            self._advance()
+            return ElementType.from_c_name(token.text)
+        raise self._error(f"expected a type name, found {token.text!r}")
+
+    def _parse_parameter(self) -> None:
+        assert self.program is not None
+        elem_type = self._parse_type()
+        # Pointer-style array parameters (e.g. ``float *A``) are not part of
+        # the affine subset; reject them explicitly for a clear message.
+        if self._check("*"):
+            raise self._error("pointer parameters are not supported; use C arrays")
+        name = self._expect_ident().text
+        dims: list[Expr] = []
+        while self._accept("["):
+            dims.append(self._parse_expression())
+            self._expect("]")
+        if dims:
+            self.program.arrays.append(ArrayDecl(name, dims, elem_type))
+        else:
+            self.program.params.append(ParamDecl(name, elem_type))
+
+    def _parse_statement(self):
+        if self._check("for"):
+            return self._parse_for()
+        if self._check("{"):
+            return self._parse_block()
+        return self._parse_assignment()
+
+    def _parse_block(self) -> Block:
+        self._expect("{")
+        block = Block()
+        while not self._check("}"):
+            block.append(self._parse_statement())
+        self._expect("}")
+        return block
+
+    def _parse_for(self) -> Loop:
+        assert self.program is not None
+        self._expect("for")
+        self._expect("(")
+        # init: [int] var = expr
+        self._accept("int")
+        var = self._expect_ident().text
+        if var in self.program.param_names or self.program.has_array(var):
+            raise self._error(
+                f"loop variable {var!r} shadows a parameter or array name"
+            )
+        self._expect("=")
+        lower = self._parse_expression()
+        self._expect(";")
+        # condition: var < expr  or  var <= expr
+        cond_var = self._expect_ident().text
+        if cond_var != var:
+            raise self._error(
+                f"loop condition must test the induction variable {var!r}"
+            )
+        inclusive = False
+        if self._accept("<="):
+            inclusive = True
+        else:
+            self._expect("<")
+        upper = self._parse_expression()
+        if inclusive:
+            upper = BinOp("+", upper, IntConst(1))
+        self._expect(";")
+        # increment: var++ / ++var / var += const
+        step = self._parse_increment(var)
+        self._expect(")")
+        self.loop_vars.append(var)
+        body_stmt = self._parse_statement()
+        self.loop_vars.pop()
+        body = body_stmt if isinstance(body_stmt, Block) else Block([body_stmt])
+        return Loop(var=var, lower=lower, upper=upper, body=body, step=step)
+
+    def _parse_increment(self, var: str) -> int:
+        if self._accept("++"):
+            name = self._expect_ident().text
+            if name != var:
+                raise self._error("loop increment must update the induction variable")
+            return 1
+        name = self._expect_ident().text
+        if name != var:
+            raise self._error("loop increment must update the induction variable")
+        if self._accept("++"):
+            return 1
+        self._expect("+=")
+        token = self._peek()
+        if token.kind is not TokenKind.INT:
+            raise self._error("loop step must be an integer constant")
+        self._advance()
+        return int(token.text)
+
+    def _parse_assignment(self) -> Assign:
+        target = self._parse_lvalue()
+        reduction: Optional[str] = None
+        if self._accept("+="):
+            reduction = "+"
+        elif self._accept("*="):
+            reduction = "*"
+        else:
+            self._expect("=")
+        rhs = self._parse_expression()
+        self._expect(";")
+        return Assign(target=target, rhs=rhs, reduction=reduction)
+
+    def _parse_lvalue(self) -> ArrayRef | VarRef:
+        assert self.program is not None
+        name = self._expect_ident().text
+        indices: list[Expr] = []
+        while self._accept("["):
+            indices.append(self._parse_expression())
+            self._expect("]")
+        if indices:
+            if not self.program.has_array(name):
+                raise self._error(f"assignment to undeclared array {name!r}")
+            decl = self.program.array(name)
+            if len(indices) != decl.rank:
+                raise self._error(
+                    f"array {name!r} has rank {decl.rank}, got {len(indices)} indices"
+                )
+            return ArrayRef(name, indices)
+        if self.program.has_array(name):
+            raise self._error(f"array {name!r} used without indices")
+        if name in self.program.param_names:
+            raise self._error(f"cannot assign to parameter {name!r}")
+        return VarRef(name)
+
+    # Expression grammar: additive over multiplicative over unary/primary.
+    def _parse_expression(self) -> Expr:
+        expr = self._parse_term()
+        while self._check("+") or self._check("-"):
+            op = self._advance().text
+            expr = BinOp(op, expr, self._parse_term())
+        return expr
+
+    def _parse_term(self) -> Expr:
+        expr = self._parse_unary()
+        while self._check("*") or self._check("/") or self._check("%"):
+            op = self._advance().text
+            expr = BinOp(op, expr, self._parse_unary())
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("-"):
+            return UnaryOp("-", self._parse_unary())
+        if self._accept("+"):
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        assert self.program is not None
+        token = self._peek()
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntConst(int(token.text))
+        if token.kind is TokenKind.FLOAT:
+            self._advance()
+            return FloatConst(float(token.text.rstrip("fF")))
+        if self._accept("("):
+            # C-style cast of a parenthesised type, e.g. ``(float) x``.
+            if self._peek().text in ("float", "double", "int", "long"):
+                self._advance()
+                self._expect(")")
+                return self._parse_unary()
+            expr = self._parse_expression()
+            self._expect(")")
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+            indices: list[Expr] = []
+            while self._accept("["):
+                indices.append(self._parse_expression())
+                self._expect("]")
+            if indices:
+                if not self.program.has_array(name):
+                    raise FrontendError(
+                        f"use of undeclared array {name!r}",
+                        line=token.line,
+                        column=token.column,
+                    )
+                decl = self.program.array(name)
+                if len(indices) != decl.rank:
+                    raise FrontendError(
+                        f"array {name!r} has rank {decl.rank}, "
+                        f"got {len(indices)} indices",
+                        line=token.line,
+                        column=token.column,
+                    )
+                return ArrayRef(name, indices)
+            if self.program.has_array(name):
+                raise FrontendError(
+                    f"array {name!r} used without indices",
+                    line=token.line,
+                    column=token.column,
+                )
+            if name in self.program.param_names:
+                return ParamRef(name)
+            if name in self.loop_vars:
+                return VarRef(name)
+            raise FrontendError(
+                f"use of undeclared identifier {name!r}",
+                line=token.line,
+                column=token.column,
+            )
+        raise self._error(f"unexpected token {token.text!r} in expression")

@@ -1,0 +1,121 @@
+"""Set-associative cache model for host locality studies.
+
+Table I folds cache energy into the 128 pJ/instruction figure, so the main
+evaluation does not need a cache simulator; this model supports the
+locality-oriented ablations (e.g. how tiling changes host-side miss rates)
+and the driver's flush accounting tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int = 32 * 1024
+    line_bytes: int = 64
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError("cache size must be a multiple of line * associativity")
+
+    @property
+    def num_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+@dataclass
+class CacheStats:
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class CacheModel:
+    """LRU set-associative cache with optional next-level cache."""
+
+    def __init__(self, config: CacheConfig | None = None, next_level: "CacheModel | None" = None):
+        self.config = config or CacheConfig()
+        self.next_level = next_level
+        self.stats = CacheStats()
+        # Per set: OrderedDict mapping tag -> dirty flag (LRU order).
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.config.num_sets)
+        ]
+
+    # ------------------------------------------------------------------
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        set_index = line % self.config.num_sets
+        tag = line // self.config.num_sets
+        return set_index, tag
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access one byte address; returns True on hit."""
+        self.stats.accesses += 1
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            self.stats.hits += 1
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = True
+            return True
+        self.stats.misses += 1
+        if self.next_level is not None:
+            self.next_level.access(address, is_write=False)
+        if len(cache_set) >= self.config.associativity:
+            _, dirty = cache_set.popitem(last=False)
+            self.stats.evictions += 1
+            if dirty:
+                self.stats.writebacks += 1
+        cache_set[tag] = is_write
+        return False
+
+    def flush_range(self, address: int, size: int) -> int:
+        """Flush (invalidate + write back) every line overlapping the range.
+
+        Returns the number of lines flushed — the quantity the driver charges
+        cache-maintenance instructions for.
+        """
+        if size <= 0:
+            return 0
+        line_bytes = self.config.line_bytes
+        first_line = address // line_bytes
+        last_line = (address + size - 1) // line_bytes
+        flushed = 0
+        for line in range(first_line, last_line + 1):
+            set_index = line % self.config.num_sets
+            tag = line // self.config.num_sets
+            cache_set = self._sets[set_index]
+            if tag in cache_set:
+                if cache_set.pop(tag):
+                    self.stats.writebacks += 1
+                flushed += 1
+        return flushed
+
+    def reset(self) -> None:
+        self.stats = CacheStats()
+        for cache_set in self._sets:
+            cache_set.clear()
+
+
+def default_host_hierarchy() -> CacheModel:
+    """L1 (32 KB, 4-way) backed by L2 (2 MB, 8-way) as in Table I."""
+    l2 = CacheModel(CacheConfig(size_bytes=2 * 1024 * 1024, associativity=8))
+    return CacheModel(CacheConfig(size_bytes=32 * 1024, associativity=4), next_level=l2)

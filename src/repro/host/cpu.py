@@ -1,0 +1,54 @@
+"""Arm-A7-class host CPU model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.energy import HostEnergyModel
+
+
+@dataclass
+class ArmA7Core:
+    """One in-order Arm Cortex-A7-like core.
+
+    The core model is deliberately coarse: a fixed IPC at a fixed frequency
+    with a fixed energy per instruction (Table I), which is exactly the
+    granularity the paper's evaluation uses.
+    """
+
+    model: HostEnergyModel = field(default_factory=HostEnergyModel)
+    retired_instructions: float = 0.0
+
+    def execute(self, instructions: float) -> tuple[float, float]:
+        """Retire *instructions*; returns (time_s, energy_j)."""
+        if instructions < 0:
+            raise ValueError("cannot execute a negative instruction count")
+        self.retired_instructions += instructions
+        return (
+            self.model.instruction_time(instructions),
+            self.model.instruction_energy(instructions),
+        )
+
+    @property
+    def frequency_hz(self) -> float:
+        return self.model.frequency_hz
+
+
+@dataclass
+class HostCPU:
+    """The dual-core host.  PolyBench kernels are single-threaded, so the
+    second core only matters for the system description (Table I)."""
+
+    model: HostEnergyModel = field(default_factory=HostEnergyModel)
+    cores: list[ArmA7Core] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.cores:
+            self.cores = [ArmA7Core(self.model) for _ in range(self.model.cores)]
+
+    @property
+    def core0(self) -> ArmA7Core:
+        return self.cores[0]
+
+    def total_retired_instructions(self) -> float:
+        return sum(core.retired_instructions for core in self.cores)

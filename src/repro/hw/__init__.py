@@ -1,0 +1,65 @@
+"""Cycle-approximate model of the CIM accelerator (the paper's Gem5 model).
+
+The accelerator is assembled exactly as Figure 2 of the paper describes:
+
+* :mod:`repro.hw.pcm` — phase-change-memory cell arrays (conductance states,
+  programming pulses, endurance wear).
+* :mod:`repro.hw.crossbar` — a 256x256 crossbar of 4-bit PCM cells, paired
+  per column into 8-bit effective cells, performing analog matrix-vector
+  multiplication.
+* :mod:`repro.hw.adc` — sample-and-hold plus shared ADC conversion stage.
+* :mod:`repro.hw.buffers` — row/column/output SRAM buffers.
+* :mod:`repro.hw.digital_logic` — MSB/LSB weighted sum and scalar reduction
+  post-processing.
+* :mod:`repro.hw.tile` — the CIM tile: crossbar + periphery.
+* :mod:`repro.hw.microengine` — decomposes GEMM into GEMV sequences, manages
+  double buffering, drives the tile.
+* :mod:`repro.hw.dma` — shared-memory DMA engine.
+* :mod:`repro.hw.context_regs` — memory-mapped context/status registers.
+* :mod:`repro.hw.accelerator` — the standalone accelerator (tile +
+  micro-engine + DMA + registers).
+* :mod:`repro.hw.energy` — the Table I energy/latency model.
+* :mod:`repro.hw.endurance` — per-cell wear tracking and the system-lifetime
+  model of Eq. (1).
+"""
+
+from repro.hw.stats import EnergyLedger, StatCounter
+from repro.hw.energy import CimEnergyModel, HostEnergyModel, TABLE_I
+from repro.hw.pcm import PCMCellArray, PCMDeviceParams
+from repro.hw.crossbar import Crossbar, CrossbarConfig
+from repro.hw.adc import ADCConfig, ADCStage
+from repro.hw.buffers import SRAMBuffer
+from repro.hw.digital_logic import DigitalLogic
+from repro.hw.tile import CIMTile
+from repro.hw.dma import DMAEngine
+from repro.hw.context_regs import ContextRegisterFile, Register
+from repro.hw.microengine import MicroEngine
+from repro.hw.accelerator import CIMAccelerator
+from repro.hw.endurance import EnduranceTracker, system_lifetime_years
+from repro.hw.timeline import Timeline, TimelineEvent
+
+__all__ = [
+    "EnergyLedger",
+    "StatCounter",
+    "CimEnergyModel",
+    "HostEnergyModel",
+    "TABLE_I",
+    "PCMCellArray",
+    "PCMDeviceParams",
+    "Crossbar",
+    "CrossbarConfig",
+    "ADCConfig",
+    "ADCStage",
+    "SRAMBuffer",
+    "DigitalLogic",
+    "CIMTile",
+    "DMAEngine",
+    "ContextRegisterFile",
+    "Register",
+    "MicroEngine",
+    "CIMAccelerator",
+    "EnduranceTracker",
+    "system_lifetime_years",
+    "Timeline",
+    "TimelineEvent",
+]

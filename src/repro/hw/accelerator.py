@@ -1,0 +1,269 @@
+"""The standalone CIM accelerator (Figure 2 (a)/(b)).
+
+The accelerator bundles one CIM tile, the micro-engine, a DMA unit and the
+memory-mapped context register file.  The host (through the driver) writes
+kernel parameters into the context registers and writes ``START`` to the
+command register; the accelerator then decodes the request, lets the
+micro-engine execute it, and flips the status register to ``DONE``.
+
+Batched GEMM requests pass a descriptor table in shared memory: ``ADDR_D``
+points at ``BATCH_COUNT`` descriptors, each a sequence of eight 64-bit
+little-endian words ``(addr_a, addr_b, addr_c, m, n, k, alpha_fx, beta_fx)``
+with the scalars in the same fixed-point encoding as the registers.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.context_regs import (
+    Command,
+    ContextRegisterFile,
+    Flags,
+    Opcode,
+    Register,
+    Status,
+    decode_scalar,
+)
+from repro.hw.crossbar import CrossbarConfig
+from repro.hw.dma import DMAEngine
+from repro.hw.energy import CimEnergyModel
+from repro.hw.microengine import Conv2DRequest, GemmRequest, MicroEngine, MicroEngineResult
+from repro.hw.stats import EnergyLedger, StatCounter
+from repro.hw.tile import CIMTile
+from repro.hw.timeline import Timeline
+
+#: Number of 64-bit words in one batched-GEMM descriptor.
+BATCH_DESCRIPTOR_WORDS = 8
+BATCH_DESCRIPTOR_BYTES = BATCH_DESCRIPTOR_WORDS * 8
+
+
+def pack_batch_descriptor(
+    addr_a: int, addr_b: int, addr_c: int, m: int, n: int, k: int,
+    alpha_fx: int, beta_fx: int,
+) -> bytes:
+    """Pack one batched-GEMM descriptor into its shared-memory layout."""
+    return struct.pack(
+        "<8q", addr_a, addr_b, addr_c, m, n, k, alpha_fx, beta_fx
+    )
+
+
+def unpack_batch_descriptor(raw: bytes) -> tuple[int, int, int, int, int, int, int, int]:
+    return struct.unpack("<8q", raw)
+
+
+@dataclass
+class AcceleratorRunStats:
+    """Per-invocation accounting reported back to the runtime library."""
+
+    latency_s: float = 0.0
+    energy_j: float = 0.0
+    energy_breakdown: dict[str, float] = field(default_factory=dict)
+    gemv_count: int = 0
+    crossbar_cell_writes: int = 0
+    crossbar_write_ops: int = 0
+    macs: int = 0
+    dma_bytes: int = 0
+
+
+class CIMAccelerator:
+    """Functional + energy/latency model of the CIM accelerator."""
+
+    def __init__(
+        self,
+        memory,
+        energy_model: Optional[CimEnergyModel] = None,
+        crossbar_config: Optional[CrossbarConfig] = None,
+        double_buffering: bool = True,
+    ):
+        self.energy_model = energy_model or CimEnergyModel()
+        self.energy = EnergyLedger()
+        self.counters = StatCounter()
+        self.timeline = Timeline()
+        self.tile = CIMTile(crossbar_config, self.energy_model)
+        self.dma = DMAEngine(memory, self.energy_model)
+        self.micro_engine = MicroEngine(
+            tile=self.tile,
+            dma=self.dma,
+            energy=self.energy,
+            counters=self.counters,
+            timeline=self.timeline,
+            double_buffering=double_buffering,
+        )
+        self.registers = ContextRegisterFile(on_start=self._on_start)
+        self.completed_runs: list[AcceleratorRunStats] = []
+        self.last_run: Optional[AcceleratorRunStats] = None
+
+    # ------------------------------------------------------------------
+    # PMIO interface used by the driver
+    # ------------------------------------------------------------------
+    def mmio_write(self, register: Register | int, value: int) -> None:
+        self.registers.write(register, value)
+
+    def mmio_read(self, register: Register | int) -> int:
+        return self.registers.read(register)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _on_start(self) -> None:
+        """Triggered by a START write to the command register."""
+        tile_energy_before = self.tile.energy.total()
+        own_energy_before = self.energy.total()
+        dma_energy_before = self.dma.total_energy_j
+        dma_bytes_before = self.dma.total_bytes
+        breakdown_before = {**self.tile.energy.as_dict(), **self.energy.as_dict()}
+
+        try:
+            opcode = self.registers.opcode()
+            if opcode in (Opcode.GEMM, Opcode.GEMV):
+                result = self.micro_engine.run_gemm(self._decode_gemm())
+            elif opcode is Opcode.GEMM_BATCHED:
+                result = self.micro_engine.run_gemm_batched(self._decode_batch())
+            elif opcode is Opcode.CONV2D:
+                result = self.micro_engine.run_conv2d(self._decode_conv2d())
+            else:
+                raise ValueError(f"unsupported opcode {opcode}")
+        except Exception:
+            self.registers.set_status(Status.ERROR)
+            raise
+
+        dma_energy = self.dma.total_energy_j - dma_energy_before
+        total_energy = (
+            (self.tile.energy.total() - tile_energy_before)
+            + (self.energy.total() - own_energy_before)
+            + dma_energy
+        )
+        self.energy.add("cim.dma_traffic", dma_energy)
+        breakdown_after = {**self.tile.energy.as_dict(), **self.energy.as_dict()}
+        breakdown = {
+            key: breakdown_after.get(key, 0.0) - breakdown_before.get(key, 0.0)
+            for key in breakdown_after
+            if breakdown_after.get(key, 0.0) - breakdown_before.get(key, 0.0) > 0
+        }
+
+        stats = AcceleratorRunStats(
+            latency_s=result.latency_s,
+            energy_j=total_energy,
+            energy_breakdown=breakdown,
+            gemv_count=result.gemv_count,
+            crossbar_cell_writes=result.crossbar_writes,
+            crossbar_write_ops=result.crossbar_write_ops,
+            macs=result.macs,
+            dma_bytes=result.dma_bytes + (self.dma.total_bytes - dma_bytes_before),
+        )
+        self.completed_runs.append(stats)
+        self.last_run = stats
+        self.registers.set_status(Status.DONE)
+
+    # ------------------------------------------------------------------
+    # Register decoding
+    # ------------------------------------------------------------------
+    def _decode_gemm(self) -> GemmRequest:
+        regs = self.registers
+        flags = regs.flags()
+        m = regs.read(Register.DIM_M)
+        n = regs.read(Register.DIM_N)
+        k = regs.read(Register.DIM_K)
+        if regs.opcode() is Opcode.GEMV:
+            n = 1
+        elem = regs.read(Register.ELEM_SIZE) or 4
+        return GemmRequest(
+            m=m,
+            n=n,
+            k=k,
+            addr_a=regs.read(Register.ADDR_A),
+            addr_b=regs.read(Register.ADDR_B),
+            addr_c=regs.read(Register.ADDR_C),
+            lda=k if not (flags & Flags.TRANS_A) else m,
+            ldb=n if not (flags & Flags.TRANS_B) else k,
+            ldc=n,
+            alpha=decode_scalar(regs.read(Register.ALPHA)),
+            beta=decode_scalar(regs.read(Register.BETA)),
+            trans_a=bool(flags & Flags.TRANS_A),
+            trans_b=bool(flags & Flags.TRANS_B),
+            elem_size=elem,
+        )
+
+    def _decode_batch(self) -> list[GemmRequest]:
+        regs = self.registers
+        count = regs.read(Register.BATCH_COUNT)
+        table_addr = regs.read(Register.ADDR_D)
+        flags = regs.flags()
+        elem = regs.read(Register.ELEM_SIZE) or 4
+        requests: list[GemmRequest] = []
+        for index in range(count):
+            raw = self.dma.read(
+                table_addr + index * BATCH_DESCRIPTOR_BYTES, BATCH_DESCRIPTOR_BYTES
+            )
+            addr_a, addr_b, addr_c, m, n, k, alpha_fx, beta_fx = unpack_batch_descriptor(
+                bytes(raw)
+            )
+            requests.append(
+                GemmRequest(
+                    m=m,
+                    n=n,
+                    k=k,
+                    addr_a=addr_a,
+                    addr_b=addr_b,
+                    addr_c=addr_c,
+                    lda=k if not (flags & Flags.TRANS_A) else m,
+                    ldb=n if not (flags & Flags.TRANS_B) else k,
+                    ldc=n,
+                    alpha=decode_scalar(alpha_fx),
+                    beta=decode_scalar(beta_fx),
+                    trans_a=bool(flags & Flags.TRANS_A),
+                    trans_b=bool(flags & Flags.TRANS_B),
+                    elem_size=elem,
+                )
+            )
+        return requests
+
+    def _decode_conv2d(self) -> Conv2DRequest:
+        regs = self.registers
+        out_h = regs.read(Register.DIM_M)
+        out_w = regs.read(Register.DIM_N)
+        # DIM_K packs the filter size as (filter_h << 16) | filter_w.
+        packed = regs.read(Register.DIM_K)
+        filter_h = (packed >> 16) & 0xFFFF
+        filter_w = packed & 0xFFFF
+        return Conv2DRequest(
+            out_h=out_h,
+            out_w=out_w,
+            filter_h=filter_h,
+            filter_w=filter_w,
+            img_h=out_h + filter_h - 1,
+            img_w=out_w + filter_w - 1,
+            addr_img=regs.read(Register.ADDR_A),
+            addr_filter=regs.read(Register.ADDR_B),
+            addr_out=regs.read(Register.ADDR_C),
+            alpha=decode_scalar(regs.read(Register.ALPHA)),
+            beta=decode_scalar(regs.read(Register.BETA)),
+            elem_size=regs.read(Register.ELEM_SIZE) or 4,
+        )
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics
+    # ------------------------------------------------------------------
+    def total_energy_j(self) -> float:
+        return sum(run.energy_j for run in self.completed_runs)
+
+    def total_latency_s(self) -> float:
+        return sum(run.latency_s for run in self.completed_runs)
+
+    def total_cell_writes(self) -> int:
+        return sum(run.crossbar_cell_writes for run in self.completed_runs)
+
+    def total_macs(self) -> int:
+        return sum(run.macs for run in self.completed_runs)
+
+    def reset_stats(self) -> None:
+        self.completed_runs.clear()
+        self.last_run = None
+        self.energy.reset()
+        self.counters.reset()
+        self.timeline.clear()

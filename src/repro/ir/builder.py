@@ -1,0 +1,153 @@
+"""Convenience builder for constructing IR programs programmatically.
+
+The front-end produces IR from mini-C source; tests, workload definitions
+and generated code often prefer to construct loop nests directly.  The
+builder keeps a stack of open blocks so loops can be nested with ``with``
+statements:
+
+    b = IRBuilder("gemm")
+    M, N, K = b.size_params("M", "N", "K")
+    alpha, beta = b.float_params("alpha", "beta")
+    A = b.array("A", (M, K))
+    B = b.array("B", (K, N))
+    C = b.array("C", (M, N))
+    with b.loop("i", 0, M) as i:
+        with b.loop("j", 0, N) as j:
+            b.assign(C[i, j], beta * C[i, j])
+            with b.loop("k", 0, K) as k:
+                b.add_assign(C[i, j], alpha * A[i, k] * B[k, j])
+    program = b.finish()
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, Sequence
+
+from repro.ir.expr import ArrayRef, Expr, IntConst, ParamRef, VarRef, _wrap
+from repro.ir.program import ArrayDecl, ParamDecl, Program
+from repro.ir.stmt import Assign, Block, CallStmt, Loop, Stmt
+from repro.ir.types import ElementType
+
+
+class ArrayHandle:
+    """Indexable handle returned by :meth:`IRBuilder.array`.
+
+    ``handle[i, j]`` builds an :class:`~repro.ir.expr.ArrayRef`.
+    """
+
+    def __init__(self, decl: ArrayDecl):
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    def __getitem__(self, indices) -> ArrayRef:
+        if not isinstance(indices, tuple):
+            indices = (indices,)
+        if len(indices) != self.decl.rank:
+            raise IndexError(
+                f"array {self.decl.name!r} has rank {self.decl.rank}, "
+                f"got {len(indices)} indices"
+            )
+        return ArrayRef(self.decl.name, [_wrap(i) for i in indices])
+
+
+class IRBuilder:
+    """Incrementally build a :class:`~repro.ir.program.Program`."""
+
+    def __init__(self, name: str):
+        self._program = Program(name=name)
+        self._block_stack: list[Block] = [self._program.body]
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def size_param(self, name: str) -> ParamRef:
+        """Declare an integer size parameter and return a reference to it."""
+        self._program.params.append(ParamDecl(name, ElementType.I32))
+        return ParamRef(name)
+
+    def size_params(self, *names: str) -> tuple[ParamRef, ...]:
+        return tuple(self.size_param(n) for n in names)
+
+    def float_param(self, name: str) -> ParamRef:
+        """Declare a floating-point scalar parameter (e.g. ``alpha``)."""
+        self._program.params.append(ParamDecl(name, ElementType.F32))
+        return ParamRef(name)
+
+    def float_params(self, *names: str) -> tuple[ParamRef, ...]:
+        return tuple(self.float_param(n) for n in names)
+
+    def array(
+        self,
+        name: str,
+        shape: Sequence[Expr | int | str],
+        elem_type: ElementType = ElementType.F32,
+    ) -> ArrayHandle:
+        """Declare an array and return an indexable handle."""
+        decl = ArrayDecl(name, shape, elem_type)
+        self._program.arrays.append(decl)
+        return ArrayHandle(decl)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def loop(
+        self,
+        var: str,
+        lower: Expr | int,
+        upper: Expr | int,
+        step: int = 1,
+    ) -> Iterator[VarRef]:
+        """Open a counted loop; yields the induction-variable reference."""
+        body = Block()
+        loop = Loop(var=var, lower=_wrap(lower), upper=_wrap(upper), body=body, step=step)
+        self._current_block().append(loop)
+        self._block_stack.append(body)
+        try:
+            yield VarRef(var)
+        finally:
+            self._block_stack.pop()
+
+    def assign(self, target: ArrayRef | VarRef, rhs: Expr | int | float) -> Assign:
+        """Emit ``target = rhs;``."""
+        stmt = Assign(target=target, rhs=_wrap(rhs))
+        self._current_block().append(stmt)
+        return stmt
+
+    def add_assign(self, target: ArrayRef | VarRef, rhs: Expr | int | float) -> Assign:
+        """Emit ``target += rhs;`` (a ``+`` reduction)."""
+        stmt = Assign(target=target, rhs=_wrap(rhs), reduction="+")
+        self._current_block().append(stmt)
+        return stmt
+
+    def call(self, callee: str, *args: object) -> CallStmt:
+        """Emit a call statement (used for runtime library calls)."""
+        stmt = CallStmt(callee=callee, args=list(args))
+        self._current_block().append(stmt)
+        return stmt
+
+    def append(self, stmt: Stmt) -> None:
+        """Append a pre-built statement to the current block."""
+        self._current_block().append(stmt)
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finish(self) -> Program:
+        """Return the built program.  The builder must not be reused after."""
+        if self._finished:
+            raise RuntimeError("IRBuilder.finish() called twice")
+        if len(self._block_stack) != 1:
+            raise RuntimeError("finish() called with unclosed loops")
+        self._finished = True
+        return self._program
+
+    def _current_block(self) -> Block:
+        if self._finished:
+            raise RuntimeError("builder already finished")
+        return self._block_stack[-1]

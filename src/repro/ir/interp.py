@@ -1,0 +1,306 @@
+"""Reference interpreter for the loop-nest IR.
+
+The interpreter executes a :class:`~repro.ir.program.Program` element by
+element over NumPy arrays.  It serves two purposes:
+
+* **Functional reference** — integration tests run the original program and
+  the CIM-offloaded program and compare results.
+* **Dynamic operation counting** — every executed statement updates an
+  :class:`ExecutionTrace`, which the host cost model can convert to
+  instruction counts and energy.  (For large problem sizes the host model in
+  :mod:`repro.host` uses analytical trip counts instead of running the
+  interpreter; both paths agree on small sizes, which is tested.)
+
+Runtime library calls (``CallStmt``) are dispatched to a user-provided
+handler; :mod:`repro.codegen.executor` wires that handler to the CIM runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional
+
+import numpy as np
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    FloatConst,
+    IntConst,
+    Max,
+    Min,
+    ParamRef,
+    UnaryOp,
+    VarRef,
+)
+from repro.ir.program import Program
+from repro.ir.stmt import Assign, Block, CallStmt, IfStmt, Loop, Stmt
+
+
+class InterpreterError(RuntimeError):
+    """Raised when the interpreter encounters an invalid program."""
+
+
+def evaluate_expr(
+    expr: Expr,
+    scalars: Mapping[str, int | float],
+    arrays: Mapping[str, np.ndarray],
+) -> int | float:
+    """Evaluate an IR expression under scalar and array bindings."""
+    if isinstance(expr, IntConst):
+        return expr.value
+    if isinstance(expr, FloatConst):
+        return expr.value
+    if isinstance(expr, (VarRef, ParamRef)):
+        try:
+            return scalars[expr.name]
+        except KeyError as exc:
+            raise InterpreterError(f"unbound variable {expr.name!r}") from exc
+    if isinstance(expr, ArrayRef):
+        array = arrays.get(expr.name)
+        if array is None:
+            raise InterpreterError(f"unbound array {expr.name!r}")
+        idx = tuple(int(evaluate_expr(i, scalars, arrays)) for i in expr.indices)
+        return array[idx]
+    if isinstance(expr, BinOp):
+        lhs = evaluate_expr(expr.lhs, scalars, arrays)
+        rhs = evaluate_expr(expr.rhs, scalars, arrays)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "/":
+            return lhs / rhs
+        if expr.op == "%":
+            return lhs % rhs
+        raise InterpreterError(f"unknown operator {expr.op!r}")
+    if isinstance(expr, UnaryOp):
+        return -evaluate_expr(expr.operand, scalars, arrays)
+    if isinstance(expr, Min):
+        return min(
+            evaluate_expr(expr.lhs, scalars, arrays),
+            evaluate_expr(expr.rhs, scalars, arrays),
+        )
+    if isinstance(expr, Max):
+        return max(
+            evaluate_expr(expr.lhs, scalars, arrays),
+            evaluate_expr(expr.rhs, scalars, arrays),
+        )
+    raise InterpreterError(f"cannot evaluate expression {expr!r}")
+
+
+@dataclass
+class ExecutionTrace:
+    """Dynamic operation counts collected while interpreting a program."""
+
+    loop_iterations: int = 0
+    statements_executed: int = 0
+    flops: int = 0
+    int_ops: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    runtime_calls: list[tuple[str, tuple]] = field(default_factory=list)
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.loads + self.stores
+
+    def merge(self, other: "ExecutionTrace") -> None:
+        self.loop_iterations += other.loop_iterations
+        self.statements_executed += other.statements_executed
+        self.flops += other.flops
+        self.int_ops += other.int_ops
+        self.loads += other.loads
+        self.stores += other.stores
+        self.branches += other.branches
+        self.runtime_calls.extend(other.runtime_calls)
+
+
+def _count_expr_ops(expr: Expr, trace: ExecutionTrace, is_float: bool) -> None:
+    """Attribute arithmetic and memory operations of one expression."""
+    for node in expr.walk():
+        if isinstance(node, (BinOp, UnaryOp, Min, Max)):
+            if is_float:
+                trace.flops += 1
+            else:
+                trace.int_ops += 1
+        elif isinstance(node, ArrayRef):
+            trace.loads += 1
+            # Index arithmetic (row-major address computation) is integer work.
+            trace.int_ops += max(0, len(node.indices) - 1) * 2
+
+
+CallHandler = Callable[[str, list[object], "Interpreter"], None]
+
+
+class Interpreter:
+    """Execute an IR program over NumPy arrays.
+
+    Parameters
+    ----------
+    program:
+        The program to execute.
+    call_handler:
+        Optional callback invoked for every :class:`CallStmt`.  It receives
+        the callee name, the raw argument list, and the interpreter (so it
+        can read or write arrays and scalars).  Without a handler, call
+        statements raise — plain host programs contain no calls.
+    """
+
+    def __init__(self, program: Program, call_handler: Optional[CallHandler] = None):
+        self.program = program
+        self.call_handler = call_handler
+        self.scalars: dict[str, int | float] = {}
+        self.arrays: dict[str, np.ndarray] = {}
+        self.trace = ExecutionTrace()
+
+    # ------------------------------------------------------------------
+    # Setup and entry point
+    # ------------------------------------------------------------------
+    def allocate_arrays(
+        self, params: Mapping[str, int | float]
+    ) -> dict[str, np.ndarray]:
+        """Allocate zero-filled arrays for every declaration."""
+        allocated: dict[str, np.ndarray] = {}
+        for decl in self.program.arrays:
+            shape = decl.extent(dict(params))
+            allocated[decl.name] = np.zeros(shape, dtype=decl.elem_type.numpy_dtype)
+        return allocated
+
+    def run(
+        self,
+        params: Mapping[str, int | float],
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> dict[str, np.ndarray]:
+        """Execute the program and return the (possibly updated) arrays.
+
+        Input arrays are copied so callers can reuse them across runs.
+        """
+        self.scalars = dict(params)
+        missing = [p.name for p in self.program.params if p.name not in self.scalars]
+        if missing:
+            raise InterpreterError(f"missing parameter bindings: {missing}")
+        if arrays is None:
+            self.arrays = self.allocate_arrays(params)
+        else:
+            self.arrays = {}
+            for decl in self.program.arrays:
+                if decl.name not in arrays:
+                    raise InterpreterError(f"missing array binding {decl.name!r}")
+                provided = np.asarray(arrays[decl.name], dtype=decl.elem_type.numpy_dtype)
+                expected = decl.extent(dict(params))
+                if tuple(provided.shape) != tuple(expected):
+                    raise InterpreterError(
+                        f"array {decl.name!r} has shape {provided.shape}, "
+                        f"expected {expected}"
+                    )
+                self.arrays[decl.name] = provided.copy()
+        self.trace = ExecutionTrace()
+        self._exec_block(self.program.body)
+        return self.arrays
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def _exec_block(self, block: Block) -> None:
+        for stmt in block.stmts:
+            self._exec_stmt(stmt)
+
+    def _exec_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._exec_block(stmt)
+        elif isinstance(stmt, Loop):
+            self._exec_loop(stmt)
+        elif isinstance(stmt, Assign):
+            self._exec_assign(stmt)
+        elif isinstance(stmt, CallStmt):
+            self._exec_call(stmt)
+        elif isinstance(stmt, IfStmt):
+            self.trace.branches += 1
+            cond = evaluate_expr(stmt.cond, self.scalars, self.arrays)
+            if cond:
+                self._exec_block(stmt.then_body)
+            elif stmt.else_body is not None:
+                self._exec_block(stmt.else_body)
+        else:
+            raise InterpreterError(f"cannot execute statement {stmt!r}")
+
+    def _exec_loop(self, loop: Loop) -> None:
+        lower = int(evaluate_expr(loop.lower, self.scalars, self.arrays))
+        upper = int(evaluate_expr(loop.upper, self.scalars, self.arrays))
+        saved = self.scalars.get(loop.var)
+        for value in range(lower, upper, loop.step):
+            self.scalars[loop.var] = value
+            self.trace.loop_iterations += 1
+            self.trace.branches += 1
+            self.trace.int_ops += 1  # induction-variable increment
+            self._exec_block(loop.body)
+        if saved is None:
+            self.scalars.pop(loop.var, None)
+        else:
+            self.scalars[loop.var] = saved
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        self.trace.statements_executed += 1
+        target = stmt.target
+        is_float = True
+        if isinstance(target, ArrayRef):
+            decl = self.program.array(target.name)
+            is_float = decl.elem_type.is_float
+        value = evaluate_expr(stmt.rhs, self.scalars, self.arrays)
+        _count_expr_ops(stmt.rhs, self.trace, is_float)
+        if isinstance(target, ArrayRef):
+            idx = tuple(
+                int(evaluate_expr(i, self.scalars, self.arrays)) for i in target.indices
+            )
+            self.trace.stores += 1
+            self.trace.int_ops += max(0, len(idx) - 1) * 2
+            if stmt.reduction == "+":
+                self.trace.loads += 1
+                self.trace.flops += 1 if is_float else 0
+                self.trace.int_ops += 0 if is_float else 1
+                self.arrays[target.name][idx] += value
+            elif stmt.reduction == "*":
+                self.trace.loads += 1
+                self.trace.flops += 1 if is_float else 0
+                self.arrays[target.name][idx] *= value
+            else:
+                self.arrays[target.name][idx] = value
+        else:  # scalar variable
+            if stmt.reduction == "+":
+                self.scalars[target.name] = self.scalars.get(target.name, 0) + value
+                self.trace.flops += 1
+            elif stmt.reduction == "*":
+                self.scalars[target.name] = self.scalars.get(target.name, 1) * value
+                self.trace.flops += 1
+            else:
+                self.scalars[target.name] = value
+
+    def _exec_call(self, stmt: CallStmt) -> None:
+        self.trace.statements_executed += 1
+        self.trace.runtime_calls.append((stmt.callee, tuple(stmt.args)))
+        if self.call_handler is None:
+            raise InterpreterError(
+                f"no call handler installed for runtime call {stmt.callee!r}"
+            )
+        self.call_handler(stmt.callee, list(stmt.args), self)
+
+    # ------------------------------------------------------------------
+    # Helpers for call handlers
+    # ------------------------------------------------------------------
+    def resolve(self, arg: object) -> object:
+        """Resolve a call argument: expressions are evaluated, array names
+        are looked up, other values pass through unchanged."""
+        if isinstance(arg, Expr) and not isinstance(arg, ArrayRef):
+            return evaluate_expr(arg, self.scalars, self.arrays)
+        if isinstance(arg, ArrayRef) and not arg.indices:
+            return self.arrays[arg.name]
+        if isinstance(arg, str) and arg in self.arrays:
+            return self.arrays[arg]
+        if isinstance(arg, Expr):
+            return evaluate_expr(arg, self.scalars, self.arrays)
+        return arg

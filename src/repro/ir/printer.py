@@ -1,0 +1,72 @@
+"""Pretty-print IR programs as C-like source.
+
+The output mirrors the pseudo-C the paper uses in Listings 1-3, which makes
+compiler-output comparisons in tests and examples human-readable.
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import Expr
+from repro.ir.program import Program
+from repro.ir.stmt import Assign, Block, CallStmt, IfStmt, Loop, Stmt
+
+_INDENT = "  "
+
+
+def to_source(node: Program | Stmt | Expr) -> str:
+    """Render a program, statement, or expression as C-like source text."""
+    if isinstance(node, Program):
+        return _program_to_source(node)
+    if isinstance(node, Stmt):
+        return "\n".join(_stmt_lines(node, 0))
+    return str(node)
+
+
+def _program_to_source(program: Program) -> str:
+    lines: list[str] = []
+    sizes = [p.name for p in program.params if p.is_size]
+    scalars = [p.name for p in program.params if not p.is_size]
+    args = [f"int {name}" for name in sizes]
+    args += [f"float {name}" for name in scalars]
+    for arr in program.arrays:
+        dims = "".join(f"[{d}]" for d in arr.shape)
+        args.append(f"{arr.elem_type.value} {arr.name}{dims}")
+    lines.append(f"void {program.name}({', '.join(args)}) {{")
+    for stmt in program.body.stmts:
+        lines.extend(_stmt_lines(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _stmt_lines(stmt: Stmt, depth: int) -> list[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, Block):
+        lines = []
+        for child in stmt.stmts:
+            lines.extend(_stmt_lines(child, depth))
+        return lines
+    if isinstance(stmt, Loop):
+        step = f"{stmt.var} += {stmt.step}" if stmt.step != 1 else f"++{stmt.var}"
+        header = (
+            f"{pad}for (int {stmt.var} = {stmt.lower}; "
+            f"{stmt.var} < {stmt.upper}; {step}) {{"
+        )
+        lines = [header]
+        lines.extend(_stmt_lines(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, Assign):
+        op = f"{stmt.reduction}=" if stmt.reduction else "="
+        return [f"{pad}{stmt.target} {op} {stmt.rhs};"]
+    if isinstance(stmt, CallStmt):
+        args = ", ".join(str(a) for a in stmt.args)
+        return [f"{pad}{stmt.callee}({args});"]
+    if isinstance(stmt, IfStmt):
+        lines = [f"{pad}if ({stmt.cond}) {{"]
+        lines.extend(_stmt_lines(stmt.then_body, depth + 1))
+        if stmt.else_body is not None:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_stmt_lines(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    return [f"{pad}{stmt}"]

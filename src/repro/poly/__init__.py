@@ -1,0 +1,57 @@
+"""Polyhedral layer: the reproduction's stand-in for Polly/ISL.
+
+Provides affine-expression analysis, iteration domains, access relations,
+dependence analysis, SCoP (static control part) detection, schedule trees,
+and regeneration of loop-nest IR from (transformed) schedule trees.
+
+The paper's flow detects kernels with Polly, represents their execution
+strategy as ISL schedule trees, lets Loop Tactics rewrite the trees, and
+lowers them back to LLVM-IR.  This package plays exactly that role over the
+mini IR: :func:`detect_scops` finds affine regions,
+:func:`build_schedule_tree` produces the canonical tree, and
+:func:`generate_ir` lowers a (possibly transformed) tree back to IR.
+"""
+
+from repro.poly.affine import AffineExpr, affine_from_expr
+from repro.poly.domain import IterationDomain, LoopDim
+from repro.poly.access import AccessKind, AccessRelation, accesses_of_statement
+from repro.poly.scop import Scop, ScopStatement, detect_scops
+from repro.poly.schedule_tree import (
+    ScheduleNode,
+    DomainNode,
+    BandNode,
+    SequenceNode,
+    FilterNode,
+    MarkNode,
+    ExtensionNode,
+    LeafNode,
+)
+from repro.poly.schedule_build import build_schedule_tree
+from repro.poly.dependence import Dependence, DependenceKind, compute_dependences
+from repro.poly.astgen import generate_ir
+
+__all__ = [
+    "AffineExpr",
+    "affine_from_expr",
+    "IterationDomain",
+    "LoopDim",
+    "AccessKind",
+    "AccessRelation",
+    "accesses_of_statement",
+    "Scop",
+    "ScopStatement",
+    "detect_scops",
+    "ScheduleNode",
+    "DomainNode",
+    "BandNode",
+    "SequenceNode",
+    "FilterNode",
+    "MarkNode",
+    "ExtensionNode",
+    "LeafNode",
+    "build_schedule_tree",
+    "Dependence",
+    "DependenceKind",
+    "compute_dependences",
+    "generate_ir",
+]

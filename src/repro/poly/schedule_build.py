@@ -1,0 +1,68 @@
+"""Build the canonical schedule tree of a SCoP.
+
+The canonical tree reflects the original program order: one single-dimension
+band per source loop, sequence/filter nodes wherever a loop body (or the SCoP
+itself) contains more than one statement or nest, and a leaf per innermost
+statement position.
+"""
+
+from __future__ import annotations
+
+from repro.ir.stmt import Assign, Block, Loop, Stmt
+from repro.poly.schedule_tree import (
+    BandNode,
+    DomainNode,
+    FilterNode,
+    LeafNode,
+    ScheduleNode,
+    SequenceNode,
+)
+from repro.poly.scop import Scop
+
+
+def build_schedule_tree(scop: Scop) -> DomainNode:
+    """Construct the canonical schedule tree for *scop*."""
+    if len(scop.nests) == 1:
+        child = _build_loop(scop.nests[0], scop)
+    else:
+        filters = []
+        for nest_index, nest in enumerate(scop.nests):
+            names = {
+                s.name for s in scop.statements if s.nest_index == nest_index
+            }
+            filters.append(FilterNode(names, _build_loop(nest, scop)))
+        child = SequenceNode(filters)
+    return DomainNode(scop, child)
+
+
+def _statement_names_in(stmt: Stmt, scop: Scop) -> set[str]:
+    names: set[str] = set()
+    for node in stmt.walk():
+        if isinstance(node, Assign) and scop.has_statement(node.name):
+            names.add(node.name)
+    return names
+
+
+def _build_loop(loop: Loop, scop: Scop) -> BandNode:
+    return BandNode([loop.var], child=_build_body(loop.body, scop))
+
+
+def _build_body(block: Block, scop: Scop) -> ScheduleNode:
+    stmts = block.stmts
+    if len(stmts) == 1:
+        return _build_stmt(stmts[0], scop)
+    filters = []
+    for stmt in stmts:
+        names = _statement_names_in(stmt, scop)
+        filters.append(FilterNode(names, _build_stmt(stmt, scop)))
+    return SequenceNode(filters)
+
+
+def _build_stmt(stmt: Stmt, scop: Scop) -> ScheduleNode:
+    if isinstance(stmt, Loop):
+        return _build_loop(stmt, scop)
+    if isinstance(stmt, Assign):
+        return LeafNode([stmt.name])
+    if isinstance(stmt, Block):
+        return _build_body(stmt, scop)
+    raise TypeError(f"unexpected statement {stmt!r} inside a SCoP")

@@ -1,0 +1,22 @@
+"""User-space CIM runtime library (Figure 3, user space).
+
+The runtime offers a host-callable API in the spirit of cuBLAS/MKL — exactly
+the functions the compiler's device-mapping pass emits (Listing 1 of the
+paper): initialisation, buffer allocation, host/device transfers, GEMM,
+GEMV, batched GEMM and 2D convolution.  It encodes high-level parameters
+into context-register writes through the kernel driver and collects the
+per-call accelerator statistics the evaluation layer consumes.
+"""
+
+from repro.runtime.errors import CimRuntimeError
+from repro.runtime.handles import DeviceBuffer
+from repro.runtime.api import CimRuntime
+from repro.runtime.blas import CimBlas, BlasCallStats
+
+__all__ = [
+    "CimRuntimeError",
+    "DeviceBuffer",
+    "CimRuntime",
+    "CimBlas",
+    "BlasCallStats",
+]

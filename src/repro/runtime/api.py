@@ -1,0 +1,122 @@
+"""Core CIM runtime API: device management, buffers, transfers.
+
+These are the Python counterparts of ``polly_cimInit``, ``polly_cimMalloc``,
+``polly_cimHostToDev``, ``polly_cimDevToHost`` and ``polly_cimFree`` from the
+paper's Listing 1.  Host-to-device and device-to-host "transfers" are copies
+between host NumPy arrays and the CMA shared-memory region; they charge host
+copy instructions, because the data preparation in shared memory is host
+work (Figure 2 (d): "Prepare data in shared memory").
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from repro.driver.driver import CimDriver
+from repro.runtime.errors import CimRuntimeError
+from repro.runtime.handles import DeviceBuffer
+
+
+class CimRuntime:
+    """User-space runtime for one CIM device."""
+
+    def __init__(self, driver: CimDriver):
+        self.driver = driver
+        self._initialised_devices: set[int] = set()
+        self._buffers: dict[int, DeviceBuffer] = {}
+        self._handle_counter = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # polly_cimInit
+    # ------------------------------------------------------------------
+    def cim_init(self, device: int = 0) -> None:
+        """Initialise (open) the CIM device.  Idempotent per device."""
+        if device != 0:
+            raise CimRuntimeError(f"no CIM device {device} in the emulated system")
+        if device in self._initialised_devices:
+            return
+        self.driver.open()
+        self._initialised_devices.add(device)
+
+    def _require_init(self) -> None:
+        if not self._initialised_devices:
+            raise CimRuntimeError("cim_init() must be called before any other API")
+
+    # ------------------------------------------------------------------
+    # polly_cimMalloc / polly_cimFree
+    # ------------------------------------------------------------------
+    def cim_malloc(self, size: int) -> DeviceBuffer:
+        """Allocate a physically-contiguous shared buffer of *size* bytes."""
+        self._require_init()
+        if size <= 0:
+            raise CimRuntimeError("cim_malloc size must be positive")
+        virtual, physical = self.driver.alloc(size)
+        buffer = DeviceBuffer(
+            handle=next(self._handle_counter),
+            virtual=virtual,
+            physical=physical,
+            size=self.driver.buffer_size(virtual),
+        )
+        self._buffers[buffer.handle] = buffer
+        return buffer
+
+    def cim_free(self, buffer: DeviceBuffer) -> None:
+        self._require_init()
+        if buffer.handle not in self._buffers:
+            raise CimRuntimeError(f"double free or unknown buffer {buffer.handle}")
+        del self._buffers[buffer.handle]
+        self.driver.free(buffer.virtual)
+
+    def free_all(self) -> None:
+        """Release every live buffer (used by program epilogues and tests)."""
+        for buffer in list(self._buffers.values()):
+            self.cim_free(buffer)
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._buffers)
+
+    # ------------------------------------------------------------------
+    # polly_cimHostToDev / polly_cimDevToHost
+    # ------------------------------------------------------------------
+    def cim_host_to_dev(self, buffer: DeviceBuffer, array: np.ndarray) -> int:
+        """Copy a host array into the shared buffer.  Returns bytes copied."""
+        self._require_init()
+        data = np.ascontiguousarray(array, dtype=np.float32)
+        nbytes = data.nbytes
+        buffer.require_capacity(nbytes)
+        self.driver.memory.write(buffer.physical, data.view(np.uint8).ravel())
+        self._charge_copy(nbytes)
+        return nbytes
+
+    def cim_dev_to_host(
+        self,
+        buffer: DeviceBuffer,
+        shape: tuple[int, ...],
+        dtype=np.float32,
+    ) -> np.ndarray:
+        """Copy data back from the shared buffer into a new host array."""
+        self._require_init()
+        dtype = np.dtype(dtype)
+        count = int(np.prod(shape)) if shape else 1
+        nbytes = count * dtype.itemsize
+        buffer.require_capacity(nbytes)
+        raw = self.driver.memory.read(buffer.physical, nbytes)
+        self._charge_copy(nbytes)
+        return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
+
+    def _charge_copy(self, nbytes: int) -> None:
+        instructions = nbytes * self.driver.host_model.copy_instructions_per_byte
+        self.driver.overhead.charge_instructions(instructions)
+        self.driver.counters.add("runtime.copy_bytes", nbytes)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the executor and tests
+    # ------------------------------------------------------------------
+    def buffer(self, handle: int) -> DeviceBuffer:
+        if handle not in self._buffers:
+            raise CimRuntimeError(f"unknown buffer handle {handle}")
+        return self._buffers[handle]

@@ -1,0 +1,7 @@
+"""Errors raised by the CIM runtime library."""
+
+from __future__ import annotations
+
+
+class CimRuntimeError(RuntimeError):
+    """Invalid runtime usage: bad handle, size mismatch, uninitialised device."""

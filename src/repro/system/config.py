@@ -1,0 +1,52 @@
+"""System configuration presets (Table I plus simulation knobs)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.crossbar import CrossbarConfig
+from repro.hw.energy import CimEnergyModel, HostEnergyModel, SystemEnergyModel, TABLE_I
+
+
+@dataclass
+class SystemConfig:
+    """Everything needed to assemble a :class:`~repro.system.system.CimSystem`.
+
+    The defaults reproduce the paper's Table I configuration with an
+    ``ideal``-precision crossbar (bit-exact results); switch
+    ``crossbar_mode`` to ``"quantized"`` to study the analog precision.
+    """
+
+    memory_bytes: int = 64 * 1024 * 1024
+    cma_bytes: int = 48 * 1024 * 1024
+    crossbar_mode: str = "ideal"
+    double_buffering: bool = True
+    energy: SystemEnergyModel = field(default_factory=lambda: TABLE_I)
+
+    @property
+    def cim(self) -> CimEnergyModel:
+        return self.energy.cim
+
+    @property
+    def host(self) -> HostEnergyModel:
+        return self.energy.host
+
+    def crossbar_config(self) -> CrossbarConfig:
+        return CrossbarConfig(
+            rows=self.cim.crossbar_rows,
+            cols=self.cim.crossbar_cols,
+            cell_bits=self.cim.cell_bits,
+            device_bits=self.cim.device_bits,
+            mode=self.crossbar_mode,
+        )
+
+    @staticmethod
+    def paper_default() -> "SystemConfig":
+        """The configuration used for the paper's evaluation."""
+        return SystemConfig()
+
+    @staticmethod
+    def quantized() -> "SystemConfig":
+        """Same system with the analog 8-bit quantisation enabled."""
+        return SystemConfig(crossbar_mode="quantized")

@@ -1,0 +1,116 @@
+"""Assembly of the full emulated platform.
+
+:class:`CimSystem` wires together the shared memory, the system bus, the CIM
+accelerator, the kernel driver, the user-space runtime and the host cost
+model — the complete hardware/software stack of Figures 2 (a) and 3.  The
+code generator's executor and the evaluation harness only ever talk to this
+object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.driver.driver import CimDriver, HostOverheadLedger
+from repro.host.cost_model import HostCostModel
+from repro.host.cpu import HostCPU
+from repro.hw.accelerator import CIMAccelerator
+from repro.runtime.api import CimRuntime
+from repro.runtime.blas import CimBlas
+from repro.system.bus import SystemBus
+from repro.system.config import SystemConfig
+from repro.system.memory import SharedMemory
+
+
+@dataclass
+class SystemEnergySummary:
+    """Energy roll-up of one simulated workload execution."""
+
+    host_compute_j: float = 0.0     # host loop-nest execution
+    host_offload_j: float = 0.0     # driver + copies + flushes + polling
+    accelerator_j: float = 0.0      # everything inside the CIM accelerator
+    host_compute_time_s: float = 0.0
+    host_offload_time_s: float = 0.0
+    accelerator_time_s: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return self.host_compute_j + self.host_offload_j + self.accelerator_j
+
+    @property
+    def total_time_s(self) -> float:
+        return self.host_compute_time_s + self.host_offload_time_s + self.accelerator_time_s
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (J * s)."""
+        return self.total_j * self.total_time_s
+
+
+class CimSystem:
+    """The emulated host + CIM accelerator platform."""
+
+    def __init__(self, config: Optional[SystemConfig] = None):
+        self.config = config or SystemConfig.paper_default()
+        self.memory = SharedMemory(self.config.memory_bytes, self.config.cma_bytes)
+        self.bus = SystemBus()
+        self.accelerator = CIMAccelerator(
+            self.memory,
+            energy_model=self.config.cim,
+            crossbar_config=self.config.crossbar_config(),
+            double_buffering=self.config.double_buffering,
+        )
+        self.pmio_window = self.bus.attach_accelerator(self.accelerator)
+        self.host_cpu = HostCPU(self.config.host)
+        self.host_overhead = HostOverheadLedger(self.config.host)
+        self.driver = CimDriver(
+            self.accelerator,
+            self.memory,
+            host_model=self.config.host,
+            overhead=self.host_overhead,
+        )
+        self.runtime = CimRuntime(self.driver)
+        self.blas = CimBlas(self.runtime)
+        self.host_cost_model = HostCostModel(self.config.host)
+
+    # ------------------------------------------------------------------
+    def energy_summary(
+        self, host_compute_j: float = 0.0, host_compute_time_s: float = 0.0
+    ) -> SystemEnergySummary:
+        """Roll up the energy spent since the last :meth:`reset_stats`.
+
+        ``host_compute_j``/``host_compute_time_s`` are the analytical host
+        costs of the loop nests that stayed on the host (computed by the
+        caller, which knows which program ran).
+        """
+        return SystemEnergySummary(
+            host_compute_j=host_compute_j,
+            host_offload_j=self.host_overhead.energy_j,
+            accelerator_j=self.accelerator.total_energy_j(),
+            host_compute_time_s=host_compute_time_s,
+            host_offload_time_s=self.host_overhead.time_s
+            - self.accelerator.total_latency_s()
+            if self.host_overhead.time_s > self.accelerator.total_latency_s()
+            else 0.0,
+            accelerator_time_s=self.accelerator.total_latency_s(),
+        )
+
+    def reset_stats(self) -> None:
+        """Clear all accumulated statistics (buffers stay allocated)."""
+        self.accelerator.reset_stats()
+        self.host_overhead.reset()
+        self.memory.reset_stats()
+
+    # ------------------------------------------------------------------
+    @property
+    def crossbar(self):
+        return self.accelerator.tile.crossbar
+
+    def __repr__(self) -> str:
+        cim = self.config.cim
+        return (
+            f"CimSystem(crossbar={cim.crossbar_rows}x{cim.crossbar_cols}@"
+            f"{cim.cell_bits}b, mode={self.config.crossbar_mode}, "
+            f"mem={self.config.memory_bytes >> 20} MiB)"
+        )

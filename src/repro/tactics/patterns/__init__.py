@@ -1,0 +1,47 @@
+"""Pattern library: the computational kernels the CIM accelerator supports.
+
+The accelerator executes matrix-vector products natively and matrix-matrix
+products as a sequence of matrix-vector products (Section II-C of the
+paper), so the patterns recognised here are:
+
+* **GEMM** — ``C = alpha * op(A) * op(B) + beta * C`` contractions,
+* **GEMV** — ``y = alpha * op(A) * x + beta * y`` contractions,
+* **2D convolution** — lowered to GEMM on the device via im2col by the
+  runtime library.
+
+Each ``find_*`` function inspects a SCoP plus its schedule tree and returns
+capture objects describing everything device mapping needs: the statements
+involved, the loop dimensions and their extents, the operand arrays,
+transpose flags, and scaling factors.
+"""
+
+from repro.tactics.patterns.base import KernelMatch
+from repro.tactics.patterns.gemm import GemmMatch, find_gemm_kernels
+from repro.tactics.patterns.gemv import GemvMatch, find_gemv_kernels
+from repro.tactics.patterns.conv import Conv2DMatch, find_conv2d_kernels
+
+
+def find_all_kernels(scop, tree):
+    """Run every pattern finder; GEMM matches shadow GEMV/conv on the same
+    statements (a statement is claimed by at most one match)."""
+    matches: list[KernelMatch] = []
+    claimed: set[str] = set()
+    for finder in (find_gemm_kernels, find_conv2d_kernels, find_gemv_kernels):
+        for match in finder(scop, tree):
+            if match.statements & claimed:
+                continue
+            claimed |= match.statements
+            matches.append(match)
+    return matches
+
+
+__all__ = [
+    "KernelMatch",
+    "GemmMatch",
+    "find_gemm_kernels",
+    "GemvMatch",
+    "find_gemv_kernels",
+    "Conv2DMatch",
+    "find_conv2d_kernels",
+    "find_all_kernels",
+]

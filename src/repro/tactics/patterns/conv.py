@@ -1,0 +1,175 @@
+"""2D convolution pattern detection.
+
+Recognises direct 2D convolution loop nests of the form::
+
+    out[i][j] += W[p][q] * in[i + p][j + q];
+
+(optionally with an ``alpha`` scalar factor and an init statement).  The
+paper groups ``conv`` with the GEMM-like kernels: the runtime lowers the
+convolution to GEMM via im2col, writes the (small) filter matrix to the
+crossbar once, and streams image patches through the input buffers — which
+is why its MACs-per-CIM-write intensity is high.
+
+The subscripts ``i + p`` are affine but not "simple" single-variable
+subscripts, so detection works directly on the affine access relations
+instead of the placeholder matcher used for GEMM/GEMV.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import ArrayRef
+from repro.poly.access import AccessKind, AccessRelation
+from repro.poly.schedule_tree import DomainNode
+from repro.poly.scop import Scop, ScopStatement
+from repro.tactics.patterns.base import (
+    KernelMatch,
+    find_init_statement,
+    scalar_product_expr,
+    split_product,
+)
+
+
+class Conv2DMatch(KernelMatch):
+    """Capture of a direct 2D convolution.
+
+    Dimension roles: ``i``/``j`` (output rows/columns), ``p``/``q`` (filter
+    rows/columns).  Array roles: ``out`` (output image), ``img`` (input
+    image), ``W`` (filter weights).
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(kind="conv2d", **kwargs)
+
+    @property
+    def out_h_expr(self):
+        return self.extent_expr("i")
+
+    @property
+    def out_w_expr(self):
+        return self.extent_expr("j")
+
+    @property
+    def filter_h_expr(self):
+        return self.extent_expr("p")
+
+    @property
+    def filter_w_expr(self):
+        return self.extent_expr("q")
+
+
+def find_conv2d_kernels(scop: Scop, tree: DomainNode) -> list[Conv2DMatch]:
+    matches: list[Conv2DMatch] = []
+    for stmt in scop.statements:
+        match = _match_conv_statement(scop, stmt)
+        if match is not None:
+            matches.append(match)
+    return matches
+
+
+def _single_var(access_dim) -> Optional[str]:
+    """The unique loop variable of an affine subscript with coefficient 1."""
+    coeffs = access_dim.vars
+    if len(coeffs) != 1 or access_dim.params or access_dim.constant != 0:
+        return None
+    var, coeff = next(iter(coeffs.items()))
+    return var if coeff == 1 else None
+
+
+def _two_var_sum(access_dim) -> Optional[tuple[str, str]]:
+    """Variables of a subscript of the form ``a + b`` (both coefficient 1)."""
+    coeffs = access_dim.vars
+    if len(coeffs) != 2 or access_dim.params:
+        return None
+    if any(c != 1 for c in coeffs.values()):
+        return None
+    vars_sorted = tuple(sorted(coeffs))
+    return vars_sorted  # order resolved by the caller against output dims
+
+
+def _match_conv_statement(scop: Scop, stmt: ScopStatement) -> Optional[Conv2DMatch]:
+    assign = stmt.assign
+    if assign.reduction != "+":
+        return None
+    if not isinstance(assign.target, ArrayRef) or assign.target.rank != 2:
+        return None
+    if stmt.domain.depth < 4:
+        return None
+
+    split = split_product(assign.rhs)
+    if split is None:
+        return None
+    array_factors, scalar_factors = split
+    if len(array_factors) != 2:
+        return None
+
+    writes = [a for a in stmt.accesses if a.kind is AccessKind.WRITE]
+    reads = [a for a in stmt.accesses if a.kind is AccessKind.READ]
+    if len(writes) != 1:
+        return None
+    write = writes[0]
+    i_var = _single_var(write.indices[0])
+    j_var = _single_var(write.indices[1])
+    if i_var is None or j_var is None or i_var == j_var:
+        return None
+    out_array = write.array
+
+    # Partition the reads: the reduction re-read of the output, the filter
+    # (2D, indexed by two loop vars not in the write), and the image (2D,
+    # indexed by sums i+p / j+q).
+    filter_access: Optional[AccessRelation] = None
+    image_access: Optional[AccessRelation] = None
+    for access in reads:
+        if access.array == out_array:
+            continue
+        if access.rank != 2:
+            return None
+        dim_vars = [_single_var(d) for d in access.indices]
+        if all(v is not None for v in dim_vars):
+            if filter_access is not None:
+                return None
+            filter_access = access
+        else:
+            if image_access is not None:
+                return None
+            image_access = access
+    if filter_access is None or image_access is None:
+        return None
+
+    p_var = _single_var(filter_access.indices[0])
+    q_var = _single_var(filter_access.indices[1])
+    if p_var is None or q_var is None or p_var == q_var:
+        return None
+    if {p_var, q_var} & {i_var, j_var}:
+        return None
+
+    row_sum = _two_var_sum(image_access.indices[0])
+    col_sum = _two_var_sum(image_access.indices[1])
+    if row_sum is None or col_sum is None:
+        return None
+    if set(row_sum) != {i_var, p_var} or set(col_sum) != {j_var, q_var}:
+        return None
+
+    domain_vars = set(stmt.domain.var_names)
+    if not {i_var, j_var, p_var, q_var} <= domain_vars:
+        return None
+
+    factor_names = sorted(ref.name for ref in array_factors)
+    if factor_names != sorted([filter_access.array, image_access.array]):
+        return None
+
+    init_stmt, beta = find_init_statement(scop, stmt, out_array, (i_var, j_var))
+    return Conv2DMatch(
+        scop=scop,
+        update_stmt=stmt.name,
+        init_stmt=init_stmt,
+        dims={"i": i_var, "j": j_var, "p": p_var, "q": q_var},
+        arrays={
+            "out": out_array,
+            "img": image_access.array,
+            "W": filter_access.array,
+        },
+        alpha=scalar_product_expr(scalar_factors),
+        beta=beta,
+    )

@@ -1,0 +1,147 @@
+"""GEMM pattern detection.
+
+Recognises generalised matrix-matrix multiplication updates of the form::
+
+    C[i][j] += alpha * A[i][k] * B[k][j];      // any factor order,
+                                               // transposed operands allowed
+
+optionally preceded by an initialisation statement ``C[i][j] = beta * C[i][j]``
+(or ``= 0`` / ``*= beta``).  Detection combines a structural check (the
+update statement sits under a chain of bands covering at least the three
+contraction dimensions) with access matching (the write is indexed by two
+distinct variables, the reduction variable appears in both operand reads but
+not in the write).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import ArrayRef, FloatConst
+from repro.poly.access import AccessKind
+from repro.poly.schedule_tree import DomainNode
+from repro.poly.scop import Scop, ScopStatement
+from repro.tactics.access import (
+    dim_placeholders,
+    array_placeholders,
+    match_accesses,
+    read_access,
+    write_access,
+)
+from repro.tactics.patterns.base import (
+    KernelMatch,
+    find_init_statement,
+    scalar_product_expr,
+    split_product,
+)
+
+
+class GemmMatch(KernelMatch):
+    """Capture of a GEMM kernel.
+
+    Dimension roles: ``i`` (rows of C), ``j`` (columns of C), ``k``
+    (contraction).  Array roles: ``C`` (output), ``A`` (left operand), ``B``
+    (right operand).  ``trans_a`` is set when the left operand is accessed as
+    ``A[k][i]``; ``trans_b`` when the right operand is accessed as
+    ``B[j][k]``.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(kind="gemm", **kwargs)
+
+    @property
+    def m_expr(self):
+        return self.extent_expr("i")
+
+    @property
+    def n_expr(self):
+        return self.extent_expr("j")
+
+    @property
+    def k_expr(self):
+        return self.extent_expr("k")
+
+
+def find_gemm_kernels(scop: Scop, tree: DomainNode) -> list[GemmMatch]:
+    """All GEMM kernels in *scop* (one match per update statement)."""
+    matches: list[GemmMatch] = []
+    for stmt in scop.statements:
+        match = _match_gemm_statement(scop, stmt)
+        if match is not None:
+            matches.append(match)
+    return matches
+
+
+def _match_gemm_statement(scop: Scop, stmt: ScopStatement) -> Optional[GemmMatch]:
+    assign = stmt.assign
+    if assign.reduction != "+":
+        return None
+    if not isinstance(assign.target, ArrayRef) or assign.target.rank != 2:
+        return None
+    if stmt.domain.depth < 3:
+        return None
+
+    # Right-hand side must be a pure product of exactly two array reads plus
+    # optional scalar factors (alpha).
+    split = split_product(assign.rhs)
+    if split is None:
+        return None
+    array_factors, scalar_factors = split
+    if len(array_factors) != 2:
+        return None
+
+    # Access-level matching with placeholders: write C[i,j], read C[i,j]
+    # (the reduction load), read A over {i,k}, read B over {k,j}.
+    i_ph, j_ph, k_ph = dim_placeholders("i", "j", "k")
+    c_ph, a_ph, b_ph = array_placeholders("C", "A", "B")
+    variants = [
+        # (A pattern subscripts, B pattern subscripts, trans_a, trans_b)
+        ((i_ph, k_ph), (k_ph, j_ph), False, False),
+        ((k_ph, i_ph), (k_ph, j_ph), True, False),
+        ((i_ph, k_ph), (j_ph, k_ph), False, True),
+        ((k_ph, i_ph), (j_ph, k_ph), True, True),
+    ]
+    for a_subs, b_subs, trans_a, trans_b in variants:
+        patterns = [
+            write_access(c_ph, (i_ph, j_ph)),
+            read_access(c_ph, (i_ph, j_ph)),
+            read_access(a_ph, a_subs),
+            read_access(b_ph, b_subs),
+        ]
+        binding = match_accesses(stmt.accesses, patterns, distinct_dims=True)
+        if binding is None:
+            continue
+        i_var, j_var, k_var = binding.dim("i"), binding.dim("j"), binding.dim("k")
+        # The contraction variable must not index the output and must be a
+        # domain dimension *inside* the output dimensions' loops or anywhere
+        # in the nest — it only needs to exist in the domain.
+        domain_vars = set(stmt.domain.var_names)
+        if not {i_var, j_var, k_var} <= domain_vars:
+            continue
+        # Operands read from memory must match the two array factors of the
+        # product (ensures the scalar factors really are alpha and nothing
+        # references other arrays).
+        factor_names = sorted(ref.name for ref in array_factors)
+        operands = sorted([binding.array("A"), binding.array("B")])
+        if factor_names != operands:
+            continue
+        out_array = binding.array("C")
+        init_stmt, beta = find_init_statement(
+            scop, stmt, out_array, (i_var, j_var)
+        )
+        return GemmMatch(
+            scop=scop,
+            update_stmt=stmt.name,
+            init_stmt=init_stmt,
+            dims={"i": i_var, "j": j_var, "k": k_var},
+            arrays={
+                "C": out_array,
+                "A": binding.array("A"),
+                "B": binding.array("B"),
+            },
+            alpha=scalar_product_expr(scalar_factors),
+            beta=beta,
+            trans_a=trans_a,
+            trans_b=trans_b,
+        )
+    return None

@@ -1,0 +1,119 @@
+"""GEMV pattern detection.
+
+Recognises matrix-vector product updates of the form::
+
+    y[i] += alpha * A[i][j] * x[j];     // or A[j][i] (transposed)
+
+optionally preceded by an initialisation ``y[i] = beta * y[i]`` / ``= 0``.
+These are the ``bicg``/``mvt``/``gesummv``-style kernels of the paper's
+evaluation: offloadable, but with low MACs-per-CIM-write compute intensity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.expr import ArrayRef
+from repro.poly.schedule_tree import DomainNode
+from repro.poly.scop import Scop, ScopStatement
+from repro.tactics.access import (
+    array_placeholders,
+    dim_placeholders,
+    match_accesses,
+    read_access,
+    write_access,
+)
+from repro.tactics.patterns.base import (
+    KernelMatch,
+    find_init_statement,
+    scalar_product_expr,
+    split_product,
+)
+
+
+class GemvMatch(KernelMatch):
+    """Capture of a GEMV kernel.
+
+    Dimension roles: ``i`` (output rows), ``j`` (contraction).  Array roles:
+    ``y`` (output vector), ``A`` (matrix), ``x`` (input vector).  ``trans_a``
+    is set when the matrix is accessed as ``A[j][i]``.
+    """
+
+    def __init__(self, **kwargs):
+        super().__init__(kind="gemv", **kwargs)
+
+    @property
+    def m_expr(self):
+        return self.extent_expr("i")
+
+    @property
+    def n_expr(self):
+        return self.extent_expr("j")
+
+
+def find_gemv_kernels(scop: Scop, tree: DomainNode) -> list[GemvMatch]:
+    """All GEMV kernels in *scop* (one match per update statement)."""
+    matches: list[GemvMatch] = []
+    for stmt in scop.statements:
+        match = _match_gemv_statement(scop, stmt)
+        if match is not None:
+            matches.append(match)
+    return matches
+
+
+def _match_gemv_statement(scop: Scop, stmt: ScopStatement) -> Optional[GemvMatch]:
+    assign = stmt.assign
+    if assign.reduction != "+":
+        return None
+    if not isinstance(assign.target, ArrayRef) or assign.target.rank != 1:
+        return None
+    if stmt.domain.depth < 2:
+        return None
+
+    split = split_product(assign.rhs)
+    if split is None:
+        return None
+    array_factors, scalar_factors = split
+    if len(array_factors) != 2:
+        return None
+
+    i_ph, j_ph = dim_placeholders("i", "j")
+    y_ph, a_ph, x_ph = array_placeholders("y", "A", "x")
+    variants = [
+        ((i_ph, j_ph), False),
+        ((j_ph, i_ph), True),
+    ]
+    for a_subs, trans_a in variants:
+        patterns = [
+            write_access(y_ph, (i_ph,)),
+            read_access(y_ph, (i_ph,)),
+            read_access(a_ph, a_subs),
+            read_access(x_ph, (j_ph,)),
+        ]
+        binding = match_accesses(stmt.accesses, patterns, distinct_dims=True)
+        if binding is None:
+            continue
+        i_var, j_var = binding.dim("i"), binding.dim("j")
+        if not {i_var, j_var} <= set(stmt.domain.var_names):
+            continue
+        factor_names = sorted(ref.name for ref in array_factors)
+        operands = sorted([binding.array("A"), binding.array("x")])
+        if factor_names != operands:
+            continue
+        out_array = binding.array("y")
+        init_stmt, beta = find_init_statement(scop, stmt, out_array, (i_var,))
+        return GemvMatch(
+            scop=scop,
+            update_stmt=stmt.name,
+            init_stmt=init_stmt,
+            dims={"i": i_var, "j": j_var},
+            arrays={
+                "y": out_array,
+                "A": binding.array("A"),
+                "x": binding.array("x"),
+            },
+            alpha=scalar_product_expr(scalar_factors),
+            beta=beta,
+            trans_a=trans_a,
+        )
+    return None

@@ -1,0 +1,388 @@
+"""Device mapping: rewrite matched kernels into CIM runtime calls.
+
+This pass turns the schedule tree of a SCoP into the offloaded form of
+Listing 1: the subtree that scheduled a matched kernel is replaced by an
+extension node carrying buffer allocations, host-to-device copies, the BLAS
+call, and the device-to-host copy of the result.  Kernels grouped by the
+fusion pass become a single ``polly_cimBlasGemmBatched`` call placed at the
+first kernel's position; the remaining kernels' subtrees are removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.codegen.runtime_calls import (
+    CIM_CONV2D,
+    CIM_DEV_TO_HOST,
+    CIM_GEMM,
+    CIM_GEMM_BATCHED,
+    CIM_GEMV,
+    CIM_HOST_TO_DEV,
+    CIM_MALLOC,
+    BatchedGemmCallArgs,
+    Conv2DCallArgs,
+    CopyCallArgs,
+    GemmCallArgs,
+    GemvCallArgs,
+    MallocCallArgs,
+)
+from repro.ir.expr import BinOp, Expr, FloatConst, IntConst
+from repro.ir.program import ArrayDecl
+from repro.ir.stmt import CallStmt
+from repro.poly.schedule_tree import (
+    DomainNode,
+    ExtensionNode,
+    FilterNode,
+    ScheduleNode,
+    SequenceNode,
+    replace_node,
+)
+from repro.tactics.patterns.base import KernelMatch
+from repro.tactics.patterns.conv import Conv2DMatch
+from repro.tactics.patterns.gemm import GemmMatch
+from repro.tactics.patterns.gemv import GemvMatch
+from repro.transforms.fusion import FusionGroup
+
+
+class DeviceMappingError(RuntimeError):
+    """A match cannot be mapped onto the accelerator."""
+
+
+@dataclass
+class DeviceMapping:
+    """Record of one offloaded kernel (or fused kernel group)."""
+
+    kind: str
+    call_name: str
+    matches: list[KernelMatch]
+    statements: set[str]
+    buffers: list[str]
+    shared_arrays: set[str] = field(default_factory=set)
+
+    def __str__(self) -> str:
+        stmts = ", ".join(sorted(self.statements))
+        return f"{self.call_name}({self.kind}) <- {stmts}"
+
+
+@dataclass
+class DeviceMappingResult:
+    """Outcome of device mapping over one schedule tree."""
+
+    mappings: list[DeviceMapping] = field(default_factory=list)
+    offloaded_statements: set[str] = field(default_factory=set)
+    allocated_buffers: dict[str, str] = field(default_factory=dict)  # array -> buffer
+
+    @property
+    def any_offloaded(self) -> bool:
+        return bool(self.mappings)
+
+
+def _buffer_name(array: str) -> str:
+    return f"cim_{array}"
+
+
+def _array_size_bytes_expr(decl: ArrayDecl) -> Expr:
+    """Symbolic byte size of an array (product of extents times element size)."""
+    size: Expr = IntConst(decl.elem_type.size_bytes)
+    for dim in decl.shape:
+        size = BinOp("*", size, dim)
+    return size
+
+
+def _leading_dim_expr(decl: ArrayDecl) -> Expr:
+    """Leading dimension of a row-major array (its innermost extent)."""
+    return decl.shape[-1]
+
+
+def _is_literal_zero(expr: Expr) -> bool:
+    return isinstance(expr, (IntConst, FloatConst)) and float(expr.value) == 0.0
+
+
+class _CallBuilder:
+    """Accumulates the runtime calls of one extension node."""
+
+    def __init__(self, tree: DomainNode, result: DeviceMappingResult):
+        self.tree = tree
+        self.scop = tree.scop
+        self.program = tree.scop.program
+        self.result = result
+        self.calls: list[CallStmt] = []
+
+    # -- building blocks -------------------------------------------------
+    def ensure_buffer(self, array: str) -> str:
+        buffer = _buffer_name(array)
+        if array not in self.result.allocated_buffers:
+            decl = self.program.array(array)
+            self.calls.append(
+                CallStmt(
+                    CIM_MALLOC,
+                    [MallocCallArgs(buffer, array, _array_size_bytes_expr(decl))],
+                )
+            )
+            self.result.allocated_buffers[array] = buffer
+        return buffer
+
+    def copy_in(self, array: str) -> str:
+        buffer = self.ensure_buffer(array)
+        decl = self.program.array(array)
+        self.calls.append(
+            CallStmt(
+                CIM_HOST_TO_DEV,
+                [CopyCallArgs(buffer, array, _array_size_bytes_expr(decl))],
+            )
+        )
+        return buffer
+
+    def copy_out(self, array: str) -> str:
+        buffer = self.ensure_buffer(array)
+        decl = self.program.array(array)
+        self.calls.append(
+            CallStmt(
+                CIM_DEV_TO_HOST,
+                [CopyCallArgs(buffer, array, _array_size_bytes_expr(decl))],
+            )
+        )
+        return buffer
+
+    def append(self, call: CallStmt) -> None:
+        self.calls.append(call)
+
+
+def _effective_beta(match: KernelMatch, root: ScheduleNode) -> tuple[Expr, bool]:
+    """Beta to pass to the runtime call, and whether the init statement is
+    absorbed by the offload (True) or stays on the host (False)."""
+    if match.init_stmt is None:
+        return match.beta, False
+    if match.init_stmt in root.active_statements():
+        return match.beta, True
+    # The init statement lives outside the replaced subtree (e.g. a separate
+    # scaling nest): it keeps running on the host, the device call must then
+    # accumulate onto the already-scaled output.
+    return FloatConst(1.0), False
+
+
+def _gemm_call_args(
+    match: GemmMatch, builder: _CallBuilder, beta: Expr
+) -> GemmCallArgs:
+    program = builder.program
+    a, b, c = match.arrays["A"], match.arrays["B"], match.arrays["C"]
+    buffer_a = builder.copy_in(a)
+    buffer_b = builder.copy_in(b)
+    if _is_literal_zero(beta):
+        buffer_c = builder.ensure_buffer(c)
+    else:
+        buffer_c = builder.copy_in(c)
+    return GemmCallArgs(
+        trans_a=match.trans_a,
+        trans_b=match.trans_b,
+        m=match.m_expr,
+        n=match.n_expr,
+        k=match.k_expr,
+        alpha=match.alpha,
+        buffer_a=buffer_a,
+        lda=_leading_dim_expr(program.array(a)),
+        buffer_b=buffer_b,
+        ldb=_leading_dim_expr(program.array(b)),
+        beta=beta,
+        buffer_c=buffer_c,
+        ldc=_leading_dim_expr(program.array(c)),
+        array_a=a,
+        array_b=b,
+        array_c=c,
+    )
+
+
+def _map_gemm_group(
+    tree: DomainNode,
+    group: list[GemmMatch],
+    result: DeviceMappingResult,
+) -> tuple[ExtensionNode, DeviceMapping, list[ScheduleNode]]:
+    """Build the extension node for one GEMM (len==1) or fused group."""
+    builder = _CallBuilder(tree, result)
+    roots = [match.subtree_root(tree) for match in group]
+    problems: list[GemmCallArgs] = []
+    statements: set[str] = set()
+    for match, root in zip(group, roots):
+        beta, absorbs_init = _effective_beta(match, root)
+        problems.append(_gemm_call_args(match, builder, beta))
+        statements.add(match.update_stmt)
+        if absorbs_init and match.init_stmt is not None:
+            statements.add(match.init_stmt)
+    if len(problems) == 1:
+        builder.append(CallStmt(CIM_GEMM, [problems[0]]))
+        call_name = CIM_GEMM
+    else:
+        builder.append(CallStmt(CIM_GEMM_BATCHED, [BatchedGemmCallArgs(tuple(problems))]))
+        call_name = CIM_GEMM_BATCHED
+    for args in problems:
+        builder.copy_out(args.array_c)
+    mapping = DeviceMapping(
+        kind="gemm",
+        call_name=call_name,
+        matches=list(group),
+        statements=statements,
+        buffers=sorted({p.buffer_a for p in problems}
+                       | {p.buffer_b for p in problems}
+                       | {p.buffer_c for p in problems}),
+        shared_arrays=FusionGroup(list(group)).shared_arrays() if len(group) > 1 else set(),
+    )
+    return ExtensionNode(builder.calls), mapping, roots
+
+
+def _map_gemv(
+    tree: DomainNode, match: GemvMatch, result: DeviceMappingResult
+) -> tuple[ExtensionNode, DeviceMapping, list[ScheduleNode]]:
+    builder = _CallBuilder(tree, result)
+    root = match.subtree_root(tree)
+    beta, absorbs_init = _effective_beta(match, root)
+    a, x, y = match.arrays["A"], match.arrays["x"], match.arrays["y"]
+    program = builder.program
+    buffer_a = builder.copy_in(a)
+    buffer_x = builder.copy_in(x)
+    buffer_y = builder.ensure_buffer(y) if _is_literal_zero(beta) else builder.copy_in(y)
+    args = GemvCallArgs(
+        trans_a=match.trans_a,
+        m=match.m_expr,
+        n=match.n_expr,
+        alpha=match.alpha,
+        buffer_a=buffer_a,
+        lda=_leading_dim_expr(program.array(a)),
+        buffer_x=buffer_x,
+        beta=beta,
+        buffer_y=buffer_y,
+        array_a=a,
+        array_x=x,
+        array_y=y,
+    )
+    builder.append(CallStmt(CIM_GEMV, [args]))
+    builder.copy_out(y)
+    statements = {match.update_stmt}
+    if absorbs_init and match.init_stmt is not None:
+        statements.add(match.init_stmt)
+    mapping = DeviceMapping(
+        kind="gemv",
+        call_name=CIM_GEMV,
+        matches=[match],
+        statements=statements,
+        buffers=[buffer_a, buffer_x, buffer_y],
+    )
+    return ExtensionNode(builder.calls), mapping, [root]
+
+
+def _map_conv2d(
+    tree: DomainNode, match: Conv2DMatch, result: DeviceMappingResult
+) -> tuple[ExtensionNode, DeviceMapping, list[ScheduleNode]]:
+    builder = _CallBuilder(tree, result)
+    root = match.subtree_root(tree)
+    beta, absorbs_init = _effective_beta(match, root)
+    out, img, weights = match.arrays["out"], match.arrays["img"], match.arrays["W"]
+    buffer_img = builder.copy_in(img)
+    buffer_w = builder.copy_in(weights)
+    buffer_out = (
+        builder.ensure_buffer(out) if _is_literal_zero(beta) else builder.copy_in(out)
+    )
+    args = Conv2DCallArgs(
+        out_h=match.out_h_expr,
+        out_w=match.out_w_expr,
+        filter_h=match.filter_h_expr,
+        filter_w=match.filter_w_expr,
+        alpha=match.alpha,
+        buffer_img=buffer_img,
+        buffer_w=buffer_w,
+        beta=beta,
+        buffer_out=buffer_out,
+        array_img=img,
+        array_w=weights,
+        array_out=out,
+    )
+    builder.append(CallStmt(CIM_CONV2D, [args]))
+    builder.copy_out(out)
+    statements = {match.update_stmt}
+    if absorbs_init and match.init_stmt is not None:
+        statements.add(match.init_stmt)
+    mapping = DeviceMapping(
+        kind="conv2d",
+        call_name=CIM_CONV2D,
+        matches=[match],
+        statements=statements,
+        buffers=[buffer_img, buffer_w, buffer_out],
+    )
+    return ExtensionNode(builder.calls), mapping, [root]
+
+
+def _detach_root(root: ScheduleNode) -> None:
+    """Remove a subtree that became redundant after fusion."""
+    parent = root.parent
+    if isinstance(parent, SequenceNode) is False and isinstance(root, FilterNode) is False:
+        # Walk up to the filter that encloses only this subtree, if any.
+        node = root
+        while node.parent is not None and not isinstance(node.parent, SequenceNode):
+            node = node.parent
+        root = node
+        parent = node.parent
+    if isinstance(parent, SequenceNode):
+        for index, child in enumerate(parent.children()):
+            if child is root:
+                parent.remove_child(index)
+                return
+    raise DeviceMappingError(
+        "cannot remove a fused kernel's subtree: it is not under a sequence"
+    )
+
+
+def map_kernels_to_cim(
+    tree: DomainNode,
+    matches: Sequence[KernelMatch],
+    fusion_groups: Sequence[FusionGroup] = (),
+) -> DeviceMappingResult:
+    """Map matched kernels onto the CIM accelerator.
+
+    ``matches`` are the kernels selected for offloading; ``fusion_groups``
+    (whose members must all appear in ``matches``) are offloaded as batched
+    calls.  The schedule tree is modified in place.
+    """
+    result = DeviceMappingResult()
+    selected_names = {m.update_stmt for m in matches}
+    grouped: list[list[KernelMatch]] = []
+    in_group: set[str] = set()
+    for group in fusion_groups:
+        members = [m for m in group.matches if m.update_stmt in selected_names]
+        if len(members) > 1:
+            grouped.append(members)
+            in_group |= {m.update_stmt for m in members}
+    for match in matches:
+        if match.update_stmt not in in_group:
+            grouped.append([match])
+
+    for group in grouped:
+        kind = group[0].kind
+        if kind == "gemm":
+            extension, mapping, roots = _map_gemm_group(tree, group, result)  # type: ignore[arg-type]
+        elif kind == "gemv":
+            if len(group) != 1:
+                raise DeviceMappingError("GEMV kernels cannot be batched")
+            extension, mapping, roots = _map_gemv(tree, group[0], result)  # type: ignore[arg-type]
+        elif kind == "conv2d":
+            if len(group) != 1:
+                raise DeviceMappingError("convolutions cannot be batched")
+            extension, mapping, roots = _map_conv2d(tree, group[0], result)  # type: ignore[arg-type]
+        else:
+            raise DeviceMappingError(f"unsupported kernel kind {kind!r}")
+        # Replace the first kernel's subtree by the runtime calls, drop the
+        # rest (their work is covered by the batched call).  Sequence nodes
+        # only accept filter children, so when the replaced subtree is a
+        # filter the extension is grafted underneath it instead.
+        first_root = roots[0]
+        if isinstance(first_root, FilterNode) and isinstance(
+            first_root.parent, SequenceNode
+        ):
+            first_root.set_child(0, extension)
+        else:
+            replace_node(first_root, extension)
+        for redundant in roots[1:]:
+            _detach_root(redundant)
+        result.mappings.append(mapping)
+        result.offloaded_statements |= mapping.statements
+    return result

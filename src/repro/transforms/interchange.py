@@ -1,0 +1,57 @@
+"""Loop interchange on schedule-tree bands."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.poly.dependence import nest_permutable
+from repro.poly.schedule_tree import BandNode, DomainNode
+from repro.poly.scop import Scop
+
+
+class InterchangeError(RuntimeError):
+    """Illegal interchange request."""
+
+
+def permute_band(band: BandNode, new_order: Sequence[str]) -> None:
+    """Permute the dimensions of a multi-dimensional band in place."""
+    if sorted(new_order) != sorted(band.dims):
+        raise InterchangeError(
+            f"new order {list(new_order)} is not a permutation of {band.dims}"
+        )
+    band.dims = list(new_order)
+
+
+def interchange_band_chain(
+    bands: Sequence[BandNode], new_order: Sequence[str]
+) -> None:
+    """Reorder a chain of nested single-dimension bands.
+
+    ``bands`` is the chain outermost-first; ``new_order`` lists the loop
+    variables in their new outermost-first order.  The band nodes stay where
+    they are — only their dimensions are re-assigned — which preserves any
+    filters or marks attached between them.
+    """
+    if not bands:
+        raise InterchangeError("cannot interchange an empty band chain")
+    for band in bands:
+        if band.n_dims != 1:
+            raise InterchangeError("interchange_band_chain expects 1-D bands")
+    current = [band.dims[0] for band in bands]
+    if sorted(new_order) != sorted(current):
+        raise InterchangeError(
+            f"new order {list(new_order)} is not a permutation of {current}"
+        )
+    for band, var in zip(bands, new_order):
+        band.dims = [var]
+
+
+def legal_to_interchange(
+    scop: Scop, stmt_name: str, loop_vars: Sequence[str]
+) -> bool:
+    """Check full permutability of the loops around *stmt_name*.
+
+    Wraps the dependence-analysis check so transformation code and tests
+    have a single entry point for legality questions.
+    """
+    return nest_permutable(scop, stmt_name, tuple(loop_vars))

@@ -1,0 +1,26 @@
+"""PolyBench/C workloads used by the paper's evaluation.
+
+Each kernel is expressed in the mini-C subset the front-end accepts; the
+loop nests and access patterns are those of PolyBench/C 4.2.  Dataset-size
+presets (``MINI``/``SMALL``/``MEDIUM``/``LARGE``) and NumPy initialisers are
+provided so tests, examples and the benchmark harness share one definition
+of every workload.
+"""
+
+from repro.workloads.polybench import (
+    PolybenchKernel,
+    DATASETS,
+    KERNELS,
+    PAPER_KERNELS,
+    get_kernel,
+    kernel_names,
+)
+
+__all__ = [
+    "PolybenchKernel",
+    "DATASETS",
+    "KERNELS",
+    "PAPER_KERNELS",
+    "get_kernel",
+    "kernel_names",
+]

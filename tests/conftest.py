@@ -1,0 +1,122 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_program
+from repro.ir.normalize import normalize_reductions
+from repro.poly import build_schedule_tree, detect_scops
+from repro.system import CimSystem, SystemConfig
+
+GEMM_SOURCE = """
+void gemm(int M, int N, int K, float alpha, float beta,
+          float C[M][N], float A[M][K], float B[K][N]) {
+  for (int i = 0; i < M; i++)
+    for (int j = 0; j < N; j++) {
+      C[i][j] = beta * C[i][j];
+      for (int k = 0; k < K; k++)
+        C[i][j] += alpha * A[i][k] * B[k][j];
+    }
+}
+"""
+
+GEMV_SOURCE = """
+void gemv(int M, int N, float A[M][N], float x[N], float y[M]) {
+  for (int i = 0; i < M; i++) {
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      y[i] += A[i][j] * x[j];
+  }
+}
+"""
+
+TWO_GEMMS_SHARED_A_SOURCE = """
+void two_gemms(int N, float C[N][N], float D[N][N],
+               float A[N][N], float B[N][N], float E[N][N]) {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < N; k++)
+        C[i][j] += A[i][k] * B[k][j];
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      for (int k = 0; k < N; k++)
+        D[i][j] += A[i][k] * E[k][j];
+}
+"""
+
+CONV_SOURCE = """
+void conv2d(int OH, int OW, int KH, int KW, float alpha,
+            float out[OH][OW], float img[OH + KH - 1][OW + KW - 1],
+            float W[KH][KW]) {
+  for (int i = 0; i < OH; i++)
+    for (int j = 0; j < OW; j++) {
+      out[i][j] = 0.0;
+      for (int p = 0; p < KH; p++)
+        for (int q = 0; q < KW; q++)
+          out[i][j] += alpha * W[p][q] * img[i + p][j + q];
+    }
+}
+"""
+
+
+@pytest.fixture
+def gemm_source() -> str:
+    return GEMM_SOURCE
+
+
+@pytest.fixture
+def gemv_source() -> str:
+    return GEMV_SOURCE
+
+
+@pytest.fixture
+def conv_source() -> str:
+    return CONV_SOURCE
+
+
+@pytest.fixture
+def two_gemms_source() -> str:
+    return TWO_GEMMS_SHARED_A_SOURCE
+
+
+@pytest.fixture
+def gemm_program():
+    return normalize_reductions(parse_program(GEMM_SOURCE))
+
+
+@pytest.fixture
+def gemm_scop(gemm_program):
+    scops = detect_scops(gemm_program)
+    assert len(scops) == 1
+    return scops[0]
+
+
+@pytest.fixture
+def gemm_tree(gemm_scop):
+    return build_schedule_tree(gemm_scop)
+
+
+@pytest.fixture
+def small_system() -> CimSystem:
+    """A small-memory system so allocation-failure paths are reachable."""
+    return CimSystem(SystemConfig(memory_bytes=8 * 1024 * 1024, cma_bytes=4 * 1024 * 1024))
+
+
+@pytest.fixture
+def system() -> CimSystem:
+    return CimSystem()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_gemm_arrays(rng, m, n, k):
+    return {
+        "A": rng.random((m, k), dtype=np.float32),
+        "B": rng.random((k, n), dtype=np.float32),
+        "C": rng.random((m, n), dtype=np.float32),
+    }

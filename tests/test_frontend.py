@@ -1,0 +1,145 @@
+"""Tests for the mini-C lexer and parser."""
+
+import pytest
+
+from repro.frontend import FrontendError, TokenKind, parse_program, tokenize
+from repro.ir.expr import ArrayRef, BinOp, ParamRef
+from repro.ir.stmt import Loop
+
+
+# ----------------------------------------------------------------------
+# Lexer
+# ----------------------------------------------------------------------
+def test_tokenize_basic_kinds():
+    tokens = tokenize("for (int i = 0; i < 10; i++) x[i] += 2.5f;")
+    kinds = [t.kind for t in tokens]
+    assert TokenKind.KEYWORD in kinds
+    assert TokenKind.IDENT in kinds
+    assert TokenKind.INT in kinds
+    assert TokenKind.FLOAT in kinds
+    assert kinds[-1] is TokenKind.EOF
+
+
+def test_tokenize_skips_comments():
+    tokens = tokenize("// comment\n/* block\ncomment */ x")
+    texts = [t.text for t in tokens if t.kind is not TokenKind.EOF]
+    assert texts == ["x"]
+
+
+def test_tokenize_tracks_line_numbers():
+    tokens = tokenize("a\nb\nc")
+    lines = [t.line for t in tokens if t.kind is TokenKind.IDENT]
+    assert lines == [1, 2, 3]
+
+
+def test_tokenize_rejects_unknown_character():
+    with pytest.raises(FrontendError):
+        tokenize("a @ b")
+
+
+def test_multi_char_punctuators_lexed_greedily():
+    tokens = tokenize("a += b ++ <=")
+    texts = [t.text for t in tokens if t.kind is TokenKind.PUNCT]
+    assert texts == ["+=", "++", "<="]
+
+
+# ----------------------------------------------------------------------
+# Parser: acceptance
+# ----------------------------------------------------------------------
+def test_parse_gemm(gemm_source):
+    program = parse_program(gemm_source)
+    assert program.name == "gemm"
+    assert program.param_names == ["M", "N", "K", "alpha", "beta"]
+    assert program.array_names == ["C", "A", "B"]
+    assert len(program.statements()) == 2
+
+
+def test_parse_symbolic_array_dimensions(conv_source):
+    program = parse_program(conv_source)
+    img = program.array("img")
+    assert img.rank == 2
+    assert img.extent({"OH": 4, "OW": 5, "KH": 3, "KW": 3}) == (6, 7)
+
+
+def test_parse_le_condition_becomes_exclusive_bound():
+    source = """
+    void f(int N, float A[N + 1]) {
+      for (int i = 0; i <= N; i++)
+        A[i] = 0.0;
+    }
+    """
+    program = parse_program(source)
+    loop = program.top_level_loops()[0]
+    assert "+ 1" in str(loop.upper)
+
+
+def test_parse_step_increment():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 0; i < N; i += 2)
+        A[i] = 0.0;
+    }
+    """
+    loop = parse_program(source).top_level_loops()[0]
+    assert loop.step == 2
+
+
+def test_parse_compound_assignment_kinds():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 0; i < N; i++) {
+        A[i] += 1.0;
+        A[i] *= 2.0;
+      }
+    }
+    """
+    stmts = parse_program(source).statements()
+    assert [s.reduction for s in stmts] == ["+", "*"]
+
+
+def test_parse_cast_is_ignored():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 0; i < N; i++)
+        A[i] = (float) i;
+    }
+    """
+    program = parse_program(source)
+    assert len(program.statements()) == 1
+
+
+# ----------------------------------------------------------------------
+# Parser: diagnostics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "source, fragment",
+    [
+        ("void f(float *A) { }", "pointer"),
+        ("void f(int N, float A[N]) { A[0] = B[0]; }", "undeclared"),
+        ("void f(int N, float A[N][N]) { A[0] = 1.0; }", "rank"),
+        ("void f(int N) { N = 3; }", "parameter"),
+        ("void f(int N, float A[N]) { for (int N = 0; N < 4; N++) A[N] = 0.0; }",
+         "shadows"),
+        ("void f(int N, float A[N]) { for (int i = 0; j < N; i++) A[i] = 0.0; }",
+         "induction"),
+        ("void f(int N, float A[N]) { for (int i = 0; i < N; i += k) A[i] = 0.0; }",
+         "integer constant"),
+    ],
+)
+def test_parse_errors(source, fragment):
+    with pytest.raises(FrontendError) as err:
+        parse_program(source)
+    assert fragment in str(err.value)
+
+
+def test_error_reports_location():
+    source = "void f(int N,\n float A[N]) {\n  A[0] = ;\n}"
+    with pytest.raises(FrontendError) as err:
+        parse_program(source)
+    assert err.value.line == 3
+
+
+def test_two_functions_rejected():
+    source = "void f(int N) { } void g(int N) { }"
+    with pytest.raises(FrontendError):
+        parse_program(source)

@@ -1,0 +1,96 @@
+"""Integration tests: every PolyBench kernel, compiled and offloaded, must
+produce the same results as the NumPy reference, and its evaluation metrics
+must be self-consistent."""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, OffloadExecutor, compile_source
+from repro.eval import evaluate_kernel
+from repro.ir import Interpreter
+from repro.ir.normalize import normalize_reductions
+from repro.workloads import KERNELS, PAPER_KERNELS, get_kernel, kernel_names
+
+ALL_KERNELS = sorted(KERNELS)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_offloaded_kernel_matches_numpy_reference(name):
+    kernel = get_kernel(name)
+    params = kernel.params("MINI")
+    arrays = kernel.arrays("MINI", seed=7)
+    result = compile_source(kernel.source, size_hint=params)
+    assert result.report.offloaded_kernels > 0, f"{name} was not offloaded"
+    outputs, report = OffloadExecutor().run(result.program, params, arrays)
+    reference = kernel.numpy_reference(params, arrays)
+    for array_name in kernel.output_arrays:
+        np.testing.assert_allclose(
+            outputs[array_name], reference[array_name], rtol=1e-3, atol=1e-4,
+            err_msg=f"{name}: offloaded result differs for {array_name}",
+        )
+    assert report.offloaded
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+def test_host_interpretation_matches_numpy_reference(name):
+    kernel = get_kernel(name)
+    params = kernel.params("MINI")
+    arrays = kernel.arrays("MINI", seed=3)
+    program = normalize_reductions(
+        compile_source(kernel.source, options=CompileOptions.host_only()).program
+    )
+    outputs = Interpreter(program).run(params, arrays)
+    reference = kernel.numpy_reference(params, arrays)
+    for array_name in kernel.output_arrays:
+        np.testing.assert_allclose(
+            outputs[array_name], reference[array_name], rtol=1e-3, atol=1e-4,
+            err_msg=f"{name}: host result differs for {array_name}",
+        )
+
+
+@pytest.mark.parametrize("name", PAPER_KERNELS)
+def test_kernel_evaluation_is_self_consistent(name):
+    evaluation = evaluate_kernel(name, dataset="MINI", verify=True)
+    assert evaluation.host_energy_j > 0
+    assert evaluation.cim_energy_j > 0
+    assert evaluation.host_time_s > 0 and evaluation.cim_time_s > 0
+    assert evaluation.edp_improvement == pytest.approx(
+        evaluation.energy_improvement * evaluation.runtime_improvement, rel=1e-9
+    )
+    assert evaluation.macs_per_cim_write > 0
+
+
+def test_gemm_like_kernels_have_higher_intensity_than_gemv_like():
+    gemm_like = evaluate_kernel("gemm", dataset="MINI")
+    gemv_like = evaluate_kernel("mvt", dataset="MINI")
+    assert gemm_like.macs_per_cim_write > gemv_like.macs_per_cim_write
+    assert gemv_like.macs_per_cim_write == pytest.approx(1.0)
+
+
+def test_kernel_registry_metadata():
+    assert set(PAPER_KERNELS) <= set(kernel_names())
+    for name in kernel_names():
+        kernel = get_kernel(name)
+        assert kernel.category in ("gemm-like", "gemv-like")
+        for dataset in ("MINI", "SMALL", "MEDIUM", "LARGE"):
+            params = kernel.params(dataset)
+            assert params, f"{name} has empty dataset {dataset}"
+        arrays = kernel.arrays("MINI")
+        assert set(kernel.output_arrays) <= set(arrays)
+
+
+def test_unknown_kernel_and_dataset_raise():
+    with pytest.raises(KeyError):
+        get_kernel("nonexistent")
+    with pytest.raises(KeyError):
+        get_kernel("gemm").params("HUGE")
+
+
+def test_dataset_sizes_are_monotonic():
+    for name in kernel_names():
+        kernel = get_kernel(name)
+        sizes = []
+        for dataset in ("MINI", "SMALL", "MEDIUM", "LARGE"):
+            params = kernel.params(dataset)
+            sizes.append(sum(v for k, v in params.items() if k not in ("alpha", "beta")))
+        assert sizes == sorted(sizes), f"{name} dataset sizes not monotonic"

@@ -1,0 +1,120 @@
+"""Tests for the IR interpreter (functional semantics + operation counting)."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_program
+from repro.ir import Interpreter
+from repro.ir.interp import InterpreterError, evaluate_expr
+from repro.ir.expr import BinOp, IntConst, Min, Max, ParamRef, UnaryOp, VarRef
+
+
+def test_evaluate_expr_arithmetic():
+    expr = BinOp("+", BinOp("*", IntConst(3), ParamRef("N")), UnaryOp("-", VarRef("i")))
+    assert evaluate_expr(expr, {"N": 4, "i": 2}, {}) == 10
+
+
+def test_evaluate_min_max():
+    expr = Min(VarRef("a"), Max(VarRef("b"), IntConst(5)))
+    assert evaluate_expr(expr, {"a": 7, "b": 1}, {}) == 5
+
+
+def test_evaluate_unbound_variable_raises():
+    with pytest.raises(InterpreterError):
+        evaluate_expr(VarRef("missing"), {}, {})
+
+
+def test_gemm_interpretation_matches_numpy(gemm_program, rng):
+    params = {"M": 5, "N": 4, "K": 3, "alpha": 2.0, "beta": 0.5}
+    arrays = {
+        "A": rng.random((5, 3), dtype=np.float32),
+        "B": rng.random((3, 4), dtype=np.float32),
+        "C": rng.random((5, 4), dtype=np.float32),
+    }
+    out = Interpreter(gemm_program).run(params, arrays)
+    ref = 0.5 * arrays["C"].astype(np.float64) + 2.0 * (
+        arrays["A"].astype(np.float64) @ arrays["B"].astype(np.float64)
+    )
+    np.testing.assert_allclose(out["C"], ref, rtol=1e-5)
+
+
+def test_input_arrays_are_not_mutated(gemm_program, rng):
+    params = {"M": 3, "N": 3, "K": 3, "alpha": 1.0, "beta": 0.0}
+    arrays = {
+        "A": rng.random((3, 3), dtype=np.float32),
+        "B": rng.random((3, 3), dtype=np.float32),
+        "C": rng.random((3, 3), dtype=np.float32),
+    }
+    before = arrays["C"].copy()
+    Interpreter(gemm_program).run(params, arrays)
+    np.testing.assert_array_equal(arrays["C"], before)
+
+
+def test_missing_parameter_raises(gemm_program):
+    with pytest.raises(InterpreterError):
+        Interpreter(gemm_program).run({"M": 2, "N": 2})
+
+
+def test_wrong_shape_raises(gemm_program, rng):
+    params = {"M": 3, "N": 3, "K": 3, "alpha": 1.0, "beta": 0.0}
+    arrays = {
+        "A": rng.random((2, 3), dtype=np.float32),
+        "B": rng.random((3, 3), dtype=np.float32),
+        "C": rng.random((3, 3), dtype=np.float32),
+    }
+    with pytest.raises(InterpreterError):
+        Interpreter(gemm_program).run(params, arrays)
+
+
+def test_allocate_arrays_used_when_not_provided(gemm_program):
+    params = {"M": 2, "N": 2, "K": 2, "alpha": 1.0, "beta": 0.0}
+    out = Interpreter(gemm_program).run(params)
+    assert out["C"].shape == (2, 2)
+    np.testing.assert_array_equal(out["C"], np.zeros((2, 2)))
+
+
+def test_trace_counts_iterations_and_flops(gemm_program):
+    params = {"M": 2, "N": 3, "K": 4, "alpha": 1.0, "beta": 0.0}
+    interp = Interpreter(gemm_program)
+    interp.run(params)
+    trace = interp.trace
+    # i, j, and k loop iterations: 2 + 2*3 + 2*3*4 = 32
+    assert trace.loop_iterations == 2 + 2 * 3 + 2 * 3 * 4
+    # statements executed: init (2*3) + update (2*3*4)
+    assert trace.statements_executed == 6 + 24
+    assert trace.flops > 0 and trace.loads > 0 and trace.stores > 0
+
+
+def test_call_without_handler_raises():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 0; i < N; i++)
+        A[i] = 0.0;
+    }
+    """
+    program = parse_program(source)
+    from repro.ir.stmt import CallStmt
+
+    program.body.append(CallStmt("polly_cimInit", [0]))
+    with pytest.raises(InterpreterError):
+        Interpreter(program).run({"N": 2})
+
+
+def test_call_handler_receives_arguments():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 0; i < N; i++)
+        A[i] = 1.0;
+    }
+    """
+    program = parse_program(source)
+    from repro.ir.stmt import CallStmt
+
+    program.body.append(CallStmt("custom_call", ["A", 42]))
+    seen = []
+
+    def handler(name, args, interp):
+        seen.append((name, tuple(args)))
+
+    Interpreter(program, call_handler=handler).run({"N": 2})
+    assert seen == [("custom_call", ("A", 42))]

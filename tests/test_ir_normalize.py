@@ -1,0 +1,77 @@
+"""Tests for reduction canonicalisation."""
+
+import numpy as np
+
+from repro.frontend import parse_program
+from repro.ir import Interpreter
+from repro.ir.normalize import normalize_reductions
+
+
+MVT_LIKE = """
+void f(int N, float x[N], float A[N][N], float y[N]) {
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      x[i] = x[i] + A[i][j] * y[j];
+}
+"""
+
+
+def test_plus_form_becomes_reduction():
+    program = normalize_reductions(parse_program(MVT_LIKE))
+    stmts = program.statements()
+    assert len(stmts) == 1
+    assert stmts[0].reduction == "+"
+
+
+def test_commuted_plus_form_becomes_reduction():
+    source = MVT_LIKE.replace("x[i] + A[i][j] * y[j]", "A[i][j] * y[j] + x[i]")
+    program = normalize_reductions(parse_program(source))
+    assert program.statements()[0].reduction == "+"
+
+
+def test_mul_form_becomes_reduction():
+    source = """
+    void f(int N, float beta, float D[N][N]) {
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+          D[i][j] = D[i][j] * beta;
+    }
+    """
+    program = normalize_reductions(parse_program(source))
+    assert program.statements()[0].reduction == "*"
+
+
+def test_non_reduction_assignments_untouched():
+    source = """
+    void f(int N, float A[N], float B[N]) {
+      for (int i = 0; i < N; i++)
+        A[i] = B[i] + 1.0;
+    }
+    """
+    program = normalize_reductions(parse_program(source))
+    assert program.statements()[0].reduction is None
+
+
+def test_different_subscripts_not_converted():
+    source = """
+    void f(int N, float A[N]) {
+      for (int i = 1; i < N; i++)
+        A[i] = A[i - 1] + 1.0;
+    }
+    """
+    program = normalize_reductions(parse_program(source))
+    assert program.statements()[0].reduction is None
+
+
+def test_normalisation_preserves_semantics(rng):
+    program = parse_program(MVT_LIKE)
+    normalised = normalize_reductions(program)
+    params = {"N": 5}
+    arrays = {
+        "x": rng.random(5, dtype=np.float32),
+        "A": rng.random((5, 5), dtype=np.float32),
+        "y": rng.random(5, dtype=np.float32),
+    }
+    out1 = Interpreter(program).run(params, arrays)
+    out2 = Interpreter(normalised).run(params, arrays)
+    np.testing.assert_allclose(out1["x"], out2["x"], rtol=1e-6)

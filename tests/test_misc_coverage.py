@@ -1,0 +1,161 @@
+"""Additional coverage: IR visitors, runtime-call rendering, options, errors."""
+
+import numpy as np
+import pytest
+
+from repro.codegen.runtime_calls import (
+    BatchedGemmCallArgs,
+    Conv2DCallArgs,
+    CopyCallArgs,
+    GemmCallArgs,
+    GemvCallArgs,
+    InitCallArgs,
+    MallocCallArgs,
+)
+from repro.compiler import CompileOptions
+from repro.hw.microengine import Conv2DRequest, GemmRequest
+from repro.ir.expr import ArrayRef, BinOp, IntConst, ParamRef, VarRef
+from repro.ir.stmt import Assign, Block, Loop
+from repro.ir.visitor import IRVisitor, rename_arrays, substitute
+from repro.workloads import PAPER_KERNELS, get_kernel
+
+
+# ----------------------------------------------------------------------
+# IR visitors
+# ----------------------------------------------------------------------
+def test_substitute_replaces_variables():
+    expr = BinOp("+", VarRef("i"), BinOp("*", VarRef("j"), IntConst(2)))
+    replaced = substitute(expr, {"i": VarRef("ii"), "j": IntConst(5)})
+    assert replaced.free_vars() == {"ii"}
+    assert "5" in str(replaced)
+
+
+def test_rename_arrays_in_statement():
+    stmt = Assign(
+        target=ArrayRef("C", [VarRef("i")]),
+        rhs=ArrayRef("A", [VarRef("i")]),
+        reduction="+",
+    )
+    renamed = rename_arrays(Block([stmt]), {"A": "A_dev"})
+    inner = renamed.stmts[0]
+    assert inner.rhs.name == "A_dev"
+    assert inner.target.name == "C"
+
+
+def test_visitor_dispatch(gemm_program):
+    class CountLoops(IRVisitor):
+        def __init__(self):
+            self.loops = 0
+
+        def visit_Loop(self, node):
+            self.loops += 1
+            self.generic_visit(node)
+
+    counter = CountLoops()
+    counter.visit(gemm_program.body)
+    assert counter.loops == 3
+
+
+# ----------------------------------------------------------------------
+# Runtime call argument rendering (Listing 1 fidelity)
+# ----------------------------------------------------------------------
+def test_runtime_call_arg_rendering():
+    m, n, k = ParamRef("M"), ParamRef("N"), ParamRef("K")
+    gemm = GemmCallArgs(
+        trans_a=False, trans_b=True, m=m, n=n, k=k,
+        alpha=ParamRef("alpha"), buffer_a="cim_A", lda=k,
+        buffer_b="cim_B", ldb=n, beta=ParamRef("beta"), buffer_c="cim_C", ldc=n,
+        array_a="A", array_b="B", array_c="C",
+    )
+    text = str(gemm)
+    assert text.startswith("CimNoTrans, CimTrans, M, N, K, &alpha, cim_A")
+    assert str(InitCallArgs(0)) == "0"
+    assert "(void**)&cim_A" in str(MallocCallArgs("cim_A", "A", m))
+    assert str(CopyCallArgs("cim_C", "C", m)) == "cim_C, C, M"
+    gemv = GemvCallArgs(
+        trans_a=True, m=m, n=n, alpha=ParamRef("alpha"), buffer_a="cim_A",
+        lda=n, buffer_x="cim_x", beta=ParamRef("beta"), buffer_y="cim_y",
+    )
+    assert str(gemv).startswith("CimTrans, M, N, &alpha")
+    conv = Conv2DCallArgs(
+        out_h=m, out_w=n, filter_h=IntConst(3), filter_w=IntConst(3),
+        alpha=ParamRef("alpha"), buffer_img="cim_img", buffer_w="cim_W",
+        beta=ParamRef("beta"), buffer_out="cim_out",
+    )
+    assert "cim_img, cim_W" in str(conv)
+    batched = BatchedGemmCallArgs((gemm, gemm))
+    assert "{cim_A, cim_A}" in str(batched)
+    assert batched.trans_b is True
+    with pytest.raises(ValueError):
+        BatchedGemmCallArgs(())
+
+
+# ----------------------------------------------------------------------
+# Compile options helpers
+# ----------------------------------------------------------------------
+def test_compile_options_presets():
+    host_only = CompileOptions.host_only()
+    assert not host_only.enable_offload
+    selective = CompileOptions.selective(threshold=10.0)
+    assert selective.min_macs_per_write == 10.0
+    assert CompileOptions().wants_kind("gemm")
+    assert not CompileOptions(offload_kinds=("gemm",)).wants_kind("gemv")
+
+
+# ----------------------------------------------------------------------
+# Micro-engine request validation
+# ----------------------------------------------------------------------
+def test_gemm_request_validation():
+    request = GemmRequest(m=0, n=1, k=1, addr_a=0, addr_b=0, addr_c=0,
+                          lda=1, ldb=1, ldc=1)
+    with pytest.raises(ValueError):
+        request.validate()
+    wrong_elem = GemmRequest(m=1, n=1, k=1, addr_a=0, addr_b=0, addr_c=0,
+                             lda=1, ldb=1, ldc=1, elem_size=8)
+    with pytest.raises(ValueError):
+        wrong_elem.validate()
+
+
+def test_conv_request_validation():
+    bad = Conv2DRequest(out_h=4, out_w=4, filter_h=3, filter_w=3,
+                        img_h=4, img_w=6, addr_img=0, addr_filter=0, addr_out=0)
+    with pytest.raises(ValueError):
+        bad.validate()
+    good = Conv2DRequest(out_h=4, out_w=4, filter_h=3, filter_w=3,
+                         img_h=6, img_w=6, addr_img=0, addr_filter=0, addr_out=0)
+    good.validate()
+
+
+def test_oversized_filter_rejected_by_microengine(system, rng):
+    system.runtime.cim_init(0)
+    taps = system.accelerator.tile.rows + 1
+    # A filter with more taps than crossbar rows cannot be made resident.
+    img = rng.random((600, 600), dtype=np.float32)
+    with pytest.raises(Exception):
+        request = Conv2DRequest(
+            out_h=2, out_w=2, filter_h=taps, filter_w=1,
+            img_h=taps + 1, img_w=2, addr_img=0, addr_filter=0, addr_out=0,
+        )
+        system.accelerator.micro_engine.run_conv2d(request)
+
+
+# ----------------------------------------------------------------------
+# Workload metadata sanity
+# ----------------------------------------------------------------------
+def test_paper_kernel_categories_match_figure6_grouping():
+    gemm_like = {"2mm", "3mm", "gemm", "conv"}
+    for name in PAPER_KERNELS:
+        kernel = get_kernel(name)
+        expected = "gemm-like" if name in gemm_like else "gemv-like"
+        assert kernel.category == expected
+
+
+def test_kernel_sources_parse_and_offload_consistently():
+    from repro import compile_source
+
+    for name in PAPER_KERNELS:
+        kernel = get_kernel(name)
+        result = compile_source(kernel.source, size_hint=kernel.params("MINI"))
+        assert result.report.offloaded_kernels >= 1, name
+        # Every offloaded kernel emits at least malloc + compute + copy-back.
+        assert len(result.report.runtime_calls_emitted) >= 1

@@ -1,0 +1,93 @@
+"""Tests for affine-expression analysis."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.ir.expr import ArrayRef, BinOp, IntConst, ParamRef, VarRef
+from repro.poly.affine import AffineExpr, affine_from_expr
+
+LOOPS = {"i", "j", "k"}
+PARAMS = {"N", "M"}
+
+
+def test_single_variable():
+    affine = affine_from_expr(VarRef("i"), LOOPS, PARAMS)
+    assert affine == AffineExpr.var("i")
+
+
+def test_sum_of_variable_and_constant():
+    expr = BinOp("+", VarRef("i"), IntConst(3))
+    affine = affine_from_expr(expr, LOOPS, PARAMS)
+    assert affine.coeff("i") == 1
+    assert affine.constant == 3
+
+
+def test_scaled_parameter():
+    expr = BinOp("*", IntConst(2), ParamRef("N"))
+    affine = affine_from_expr(expr, LOOPS, PARAMS)
+    assert affine.param_coeff("N") == 2
+
+
+def test_difference_of_variables():
+    expr = BinOp("-", VarRef("i"), VarRef("j"))
+    affine = affine_from_expr(expr, LOOPS, PARAMS)
+    assert affine.coeff("i") == 1 and affine.coeff("j") == -1
+
+
+def test_product_of_variables_is_not_affine():
+    expr = BinOp("*", VarRef("i"), VarRef("j"))
+    assert affine_from_expr(expr, LOOPS, PARAMS) is None
+
+
+def test_array_access_is_not_affine():
+    expr = ArrayRef("A", [VarRef("i")])
+    assert affine_from_expr(expr, LOOPS, PARAMS) is None
+
+
+def test_unknown_identifier_is_not_affine():
+    assert affine_from_expr(VarRef("q"), LOOPS, PARAMS) is None
+
+
+def test_division_is_not_affine():
+    expr = BinOp("/", VarRef("i"), IntConst(2))
+    assert affine_from_expr(expr, LOOPS, PARAMS) is None
+
+
+def test_arithmetic_on_affine_expressions():
+    a = AffineExpr.var("i") + AffineExpr.param("N") * 2 + 1
+    b = AffineExpr.var("i") * 3 - 4
+    total = a + b
+    assert total.coeff("i") == 4
+    assert total.param_coeff("N") == 2
+    assert total.constant == -3
+
+
+def test_substitute_and_rename():
+    expr = AffineExpr.var("i") * 2 + AffineExpr.var("j")
+    substituted = expr.substitute_var("i", AffineExpr.var("ii") + 1)
+    assert substituted.coeff("ii") == 2
+    assert substituted.constant == 2
+    renamed = expr.rename_var("j", "jj")
+    assert renamed.coeff("jj") == 1 and renamed.coeff("j") == 0
+
+
+def test_evaluate():
+    expr = AffineExpr.from_parts({"i": 2}, {"N": 1}, 3)
+    assert expr.evaluate({"i": 5, "N": 7}) == 20
+
+
+def test_to_ir_roundtrip():
+    expr = AffineExpr.from_parts({"i": 2, "j": -1}, {"N": 1}, 5)
+    back = affine_from_expr(expr.to_ir(), {"i", "j"}, {"N"})
+    assert back == expr
+
+
+def test_zero_coefficients_are_dropped():
+    expr = AffineExpr.from_parts({"i": 0, "j": 1}, {}, 0)
+    assert expr.used_vars() == {"j"}
+
+
+def test_equality_is_structural():
+    a = AffineExpr.var("i") + 1
+    b = AffineExpr.from_parts({"i": 1}, {}, 1)
+    assert a == b

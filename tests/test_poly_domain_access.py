@@ -1,0 +1,112 @@
+"""Tests for iteration domains and access relations."""
+
+import pytest
+
+from repro.poly.access import AccessKind, accesses_of_statement
+from repro.poly.affine import AffineExpr
+from repro.poly.domain import IterationDomain, LoopDim
+from repro.frontend import parse_program
+from repro.poly import detect_scops
+
+
+def make_domain():
+    return IterationDomain(
+        (
+            LoopDim("i", AffineExpr.constant_expr(0), AffineExpr.param("N")),
+            LoopDim("j", AffineExpr.constant_expr(0), AffineExpr.param("M")),
+        )
+    )
+
+
+def test_domain_basic_properties():
+    domain = make_domain()
+    assert domain.depth == 2
+    assert domain.var_names == ("i", "j")
+    assert domain.has_dim("i") and not domain.has_dim("k")
+
+
+def test_cardinality_rectangular():
+    domain = make_domain()
+    assert domain.cardinality({"N": 4, "M": 5}) == 20
+
+
+def test_cardinality_empty_when_bounds_cross():
+    domain = make_domain()
+    assert domain.cardinality({"N": 0, "M": 5}) == 0
+
+
+def test_trip_count_with_step():
+    dim = LoopDim("i", AffineExpr.constant_expr(0), AffineExpr.constant_expr(10), step=3)
+    assert dim.trip_count({}) == 4
+
+
+def test_points_enumeration_order():
+    domain = IterationDomain(
+        (
+            LoopDim("i", AffineExpr.constant_expr(0), AffineExpr.constant_expr(2)),
+            LoopDim("j", AffineExpr.constant_expr(0), AffineExpr.constant_expr(2)),
+        )
+    )
+    assert list(domain.points({})) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+def test_triangular_domain_cardinality():
+    domain = IterationDomain(
+        (
+            LoopDim("i", AffineExpr.constant_expr(0), AffineExpr.constant_expr(4)),
+            LoopDim("j", AffineExpr.constant_expr(0), AffineExpr.var("i")),
+        )
+    )
+    # sum over i of i = 0+1+2+3
+    assert domain.cardinality({}) == 6
+
+
+def test_rename_updates_bounds_and_var():
+    domain = IterationDomain(
+        (
+            LoopDim("i", AffineExpr.constant_expr(0), AffineExpr.constant_expr(4)),
+            LoopDim("j", AffineExpr.constant_expr(0), AffineExpr.var("i")),
+        )
+    )
+    renamed = domain.rename("i", "ii")
+    assert renamed.var_names == ("ii", "j")
+    assert renamed.dim("j").upper.used_vars() == {"ii"}
+
+
+def test_project_onto_subset():
+    domain = make_domain()
+    projected = domain.project_onto(["j"])
+    assert projected.var_names == ("j",)
+
+
+def test_accesses_of_gemm_update(gemm_scop):
+    update = gemm_scop.statements[1]
+    accesses = update.accesses
+    kinds = sorted(str(a.kind) for a in accesses)
+    assert kinds.count("read") == 3 and kinds.count("write") == 1
+    arrays = sorted(a.array for a in accesses)
+    assert arrays == ["A", "B", "C", "C"]
+
+
+def test_access_is_simple_and_single_vars(gemm_scop):
+    update = gemm_scop.statements[1]
+    a_access = next(a for a in update.accesses if a.array == "A")
+    assert a_access.is_simple()
+    assert a_access.single_vars() == ("i", "k")
+
+
+def test_non_simple_access_detected(conv_source):
+    program = parse_program(conv_source)
+    scop = detect_scops(program)[0]
+    update = next(s for s in scop.statements if "img" in s.read_arrays())
+    img_access = next(a for a in update.accesses if a.array == "img")
+    assert not img_access.is_simple()
+    assert img_access.single_vars() is None
+    assert img_access.index_vars()[0] == frozenset({"i", "p"})
+
+
+def test_access_rename_var(gemm_scop):
+    update = gemm_scop.statements[1]
+    a_access = next(a for a in update.accesses if a.array == "A")
+    renamed = a_access.rename_var("k", "kk")
+    assert renamed.single_vars() == ("i", "kk")

@@ -1,0 +1,240 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.driver.cma import CMAAllocator, CMAError
+from repro.hw.crossbar import Crossbar, CrossbarConfig
+from repro.hw.endurance import system_lifetime_years
+from repro.poly.affine import AffineExpr
+from repro.poly.domain import IterationDomain, LoopDim
+from repro.tactics.access import (
+    array_placeholders,
+    dim_placeholders,
+    match_accesses,
+    read_access,
+    write_access,
+)
+
+# ----------------------------------------------------------------------
+# Affine expressions form a module over the integers
+# ----------------------------------------------------------------------
+coeff_dicts = st.dictionaries(
+    st.sampled_from(["i", "j", "k", "l"]), st.integers(-8, 8), max_size=4
+)
+param_dicts = st.dictionaries(
+    st.sampled_from(["N", "M", "K"]), st.integers(-8, 8), max_size=3
+)
+constants = st.integers(-100, 100)
+
+
+@st.composite
+def affine_exprs(draw):
+    return AffineExpr.from_parts(draw(coeff_dicts), draw(param_dicts), draw(constants))
+
+
+@given(affine_exprs(), affine_exprs())
+def test_affine_addition_commutes(a, b):
+    assert a + b == b + a
+
+
+@given(affine_exprs(), affine_exprs(), affine_exprs())
+def test_affine_addition_associates(a, b, c):
+    assert (a + b) + c == a + (b + c)
+
+
+@given(affine_exprs(), st.integers(-5, 5))
+def test_affine_scaling_distributes_over_addition(a, scalar):
+    assert (a + a) * scalar == a * scalar + a * scalar
+
+
+@given(affine_exprs())
+def test_affine_subtraction_yields_zero(a):
+    zero = a - a
+    assert zero.is_constant and zero.constant == 0
+
+
+@given(affine_exprs(), st.dictionaries(
+    st.sampled_from(["i", "j", "k", "l", "N", "M", "K"]),
+    st.integers(-50, 50),
+    min_size=7,
+))
+def test_affine_evaluation_is_linear(a, bindings):
+    assume(set(a.used_vars()) | set(a.used_params()) <= set(bindings))
+    doubled = a * 2
+    assert doubled.evaluate(bindings) == 2 * a.evaluate(bindings)
+
+
+@given(affine_exprs())
+def test_affine_to_ir_roundtrip(a):
+    from repro.poly.affine import affine_from_expr
+
+    back = affine_from_expr(a.to_ir(), {"i", "j", "k", "l"}, {"N", "M", "K"})
+    assert back == a
+
+
+# ----------------------------------------------------------------------
+# Iteration-domain cardinality equals point enumeration
+# ----------------------------------------------------------------------
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 6), st.integers(1, 3)),
+        min_size=1,
+        max_size=3,
+    )
+)
+def test_domain_cardinality_matches_enumeration(dims_spec):
+    dims = []
+    for index, (lower, extent, step) in enumerate(dims_spec):
+        dims.append(
+            LoopDim(
+                f"v{index}",
+                AffineExpr.constant_expr(lower),
+                AffineExpr.constant_expr(lower + extent),
+                step=step,
+            )
+        )
+    domain = IterationDomain(tuple(dims))
+    assert domain.cardinality({}) == len(list(domain.points({})))
+
+
+# ----------------------------------------------------------------------
+# CMA allocator never hands out overlapping or misaligned blocks
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(1, 4096), min_size=1, max_size=30))
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_cma_blocks_are_disjoint_and_aligned(sizes):
+    cma = CMAAllocator(base=0x1000, size=64 * 1024, alignment=64)
+    blocks = []
+    for size in sizes:
+        try:
+            blocks.append(cma.alloc(size))
+        except CMAError:
+            break
+    intervals = sorted((b.address, b.address + b.size) for b in blocks)
+    for (start_a, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+        assert end_a <= start_b
+    for block in blocks:
+        assert block.address % 64 == 0
+        assert 0x1000 <= block.address and block.address + block.size <= 0x1000 + 64 * 1024
+    assert cma.used_bytes == sum(b.size for b in blocks)
+
+
+@given(st.lists(st.integers(1, 2048), min_size=1, max_size=20), st.randoms())
+@settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+def test_cma_free_restores_capacity(sizes, rng):
+    cma = CMAAllocator(base=0, size=128 * 1024, alignment=64)
+    blocks = []
+    for size in sizes:
+        blocks.append(cma.alloc(size))
+    rng.shuffle(blocks)
+    for block in blocks:
+        cma.free(block.address)
+    assert cma.free_bytes == 128 * 1024
+    assert cma.live_allocations == 0
+    # After freeing everything a maximal allocation must succeed again.
+    assert cma.alloc(128 * 1024).size == 128 * 1024
+
+
+# ----------------------------------------------------------------------
+# Crossbar GEMV: ideal mode is exact, quantized mode has bounded error
+# ----------------------------------------------------------------------
+@given(st.integers(2, 24), st.integers(2, 24), st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_ideal_crossbar_matches_numpy(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    xbar = Crossbar(CrossbarConfig(rows=rows, cols=cols, mode="ideal"))
+    matrix = rng.standard_normal((rows, cols))
+    xbar.write(matrix)
+    x = rng.standard_normal(rows)
+    result, _ = xbar.gemv(x)
+    np.testing.assert_allclose(result, x @ matrix, rtol=1e-10, atol=1e-10)
+
+
+@given(st.integers(4, 32), st.integers(4, 32), st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_quantized_crossbar_error_bound(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    xbar = Crossbar(CrossbarConfig(rows=rows, cols=cols, mode="quantized"))
+    matrix = rng.random((rows, cols))
+    xbar.write(matrix)
+    x = rng.random(rows)
+    result, _ = xbar.gemv(x)
+    reference = x @ matrix
+    scale = max(np.abs(reference).max(), 1e-9)
+    assert np.abs(result - reference).max() / scale < 0.05
+
+
+# ----------------------------------------------------------------------
+# Endurance model: lifetime is monotone in its arguments
+# ----------------------------------------------------------------------
+@given(
+    st.floats(1e5, 1e9),
+    st.floats(1e3, 1e7),
+    st.floats(1e2, 1e8),
+    st.floats(1.01, 10.0),
+)
+def test_lifetime_monotonicity(endurance, size, traffic, factor):
+    base = system_lifetime_years(endurance, size, traffic)
+    assert system_lifetime_years(endurance * factor, size, traffic) > base
+    assert system_lifetime_years(endurance, size * factor, traffic) > base
+    assert system_lifetime_years(endurance, size, traffic * factor) < base
+
+
+# ----------------------------------------------------------------------
+# Access matching is permutation-invariant
+# ----------------------------------------------------------------------
+@given(st.permutations(range(4)))
+def test_access_matching_order_invariant(order):
+    from repro.frontend import parse_program
+    from repro.ir.normalize import normalize_reductions
+    from repro.poly import detect_scops
+    from tests.conftest import GEMM_SOURCE
+
+    program = normalize_reductions(parse_program(GEMM_SOURCE))
+    scop = detect_scops(program)[0]
+    update = scop.statements[1]
+    accesses = [update.accesses[i] for i in order]
+    i, j, k = dim_placeholders("i", "j", "k")
+    a, b, c = array_placeholders("A", "B", "C")
+    binding = match_accesses(
+        accesses,
+        [
+            write_access(c, (i, j)),
+            read_access(c, (i, j)),
+            read_access(a, (i, k)),
+            read_access(b, (k, j)),
+        ],
+    )
+    assert binding is not None
+    assert binding.dim("k") == "k"
+
+
+# ----------------------------------------------------------------------
+# End-to-end: random GEMM shapes offloaded through the compiler are exact
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1, 20),
+    st.integers(1, 20),
+    st.integers(1, 20),
+    st.integers(0, 2 ** 16),
+)
+@settings(max_examples=15, deadline=None)
+def test_offloaded_gemm_random_shapes(m, n, k, seed):
+    from repro import OffloadExecutor, compile_source
+    from tests.conftest import GEMM_SOURCE
+
+    rng = np.random.default_rng(seed)
+    result = compile_source(GEMM_SOURCE)
+    params = {"M": m, "N": n, "K": k, "alpha": 1.5, "beta": 0.5}
+    arrays = {
+        "A": rng.random((m, k), dtype=np.float32),
+        "B": rng.random((k, n), dtype=np.float32),
+        "C": rng.random((m, n), dtype=np.float32),
+    }
+    outputs, _ = OffloadExecutor().run(result.program, params, arrays)
+    reference = 1.5 * (arrays["A"].astype(np.float64) @ arrays["B"].astype(np.float64))
+    reference += 0.5 * arrays["C"]
+    np.testing.assert_allclose(outputs["C"], reference, rtol=1e-3, atol=1e-5)

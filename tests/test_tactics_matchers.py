@@ -1,0 +1,151 @@
+"""Tests for structural schedule-tree matchers and access matchers."""
+
+import pytest
+
+from repro.poly.access import AccessKind
+from repro.poly.schedule_tree import BandNode, LeafNode
+from repro.tactics import (
+    m_any,
+    m_band,
+    m_domain,
+    m_filter,
+    m_leaf,
+    m_sequence,
+    match_tree,
+)
+from repro.tactics.access import (
+    array_placeholders,
+    dim_placeholders,
+    match_accesses,
+    read_access,
+    write_access,
+)
+from repro.tactics.matchers import band_chain_matcher, find_matches, nested_band_chain
+
+
+# ----------------------------------------------------------------------
+# Structural matchers
+# ----------------------------------------------------------------------
+def test_match_canonical_gemm_shape(gemm_tree):
+    matcher = m_domain(
+        m_band(
+            m_band(
+                m_sequence(
+                    m_filter(m_leaf(capture="init_leaf")),
+                    m_filter(m_band(m_leaf(capture="update_leaf"), capture="band_k")),
+                ),
+                capture="band_j",
+            ),
+            capture="band_i",
+        )
+    )
+    captures = match_tree(matcher, gemm_tree)
+    assert captures is not None
+    assert isinstance(captures["band_i"], BandNode)
+    assert captures["band_i"].dims == ["i"]
+    assert captures["band_k"].dims == ["k"]
+    assert isinstance(captures["update_leaf"], LeafNode)
+
+
+def test_match_fails_on_wrong_shape(gemm_tree):
+    matcher = m_domain(m_band(m_leaf()))
+    assert match_tree(matcher, gemm_tree) is None
+
+
+def test_band_dimension_constraints(gemm_tree):
+    band_i = gemm_tree.child
+    assert match_tree(m_band(n_dims=1, dims=["i"]), band_i) is not None
+    assert match_tree(m_band(dims=["j"]), band_i) is None
+    assert match_tree(m_band(n_dims=2), band_i) is None
+
+
+def test_wildcard_matches_anything(gemm_tree):
+    for node in gemm_tree.walk():
+        assert match_tree(m_any(), node) is not None
+
+
+def test_filter_statement_constraint(gemm_tree, gemm_scop):
+    init_name = gemm_scop.statements[0].name
+    matches = find_matches(m_filter(statements={init_name}), gemm_tree)
+    assert len(matches) == 1
+
+
+def test_find_matches_counts_bands(gemm_tree):
+    assert len(find_matches(m_band(), gemm_tree)) == 3
+
+
+def test_band_chain_matcher(gemm_tree):
+    captures = match_tree(band_chain_matcher(2), gemm_tree.child)
+    assert captures is not None
+    assert captures["band0"].dims == ["i"]
+    assert captures["band1"].dims == ["j"]
+
+
+def test_nested_band_chain_stops_at_sequence(gemm_tree):
+    chain = nested_band_chain(gemm_tree.child)
+    assert [b.dims[0] for b in chain] == ["i", "j"]
+
+
+# ----------------------------------------------------------------------
+# Access matchers
+# ----------------------------------------------------------------------
+def test_access_match_gemm_update(gemm_scop):
+    update = gemm_scop.statements[1]
+    i, j, k = dim_placeholders("i", "j", "k")
+    a, b, c = array_placeholders("A", "B", "C")
+    binding = match_accesses(
+        update.accesses,
+        [
+            write_access(c, (i, j)),
+            read_access(c, (i, j)),
+            read_access(a, (i, k)),
+            read_access(b, (k, j)),
+        ],
+    )
+    assert binding is not None
+    assert binding.array("C") == "C" and binding.array("A") == "A"
+    assert binding.dim("i") == "i" and binding.dim("k") == "k"
+
+
+def test_access_match_rejects_wrong_orientation(gemm_scop):
+    update = gemm_scop.statements[1]
+    i, j, k = dim_placeholders("i", "j", "k")
+    a, b, c = array_placeholders("A", "B", "C")
+    binding = match_accesses(
+        update.accesses,
+        [
+            write_access(c, (i, j)),
+            read_access(c, (i, j)),
+            read_access(a, (k, i)),   # transposed A: should not unify
+            read_access(b, (k, j)),
+        ],
+    )
+    assert binding is None
+
+
+def test_access_match_requires_all_accesses_consumed(gemm_scop):
+    update = gemm_scop.statements[1]
+    i, j = dim_placeholders("i", "j")
+    c = array_placeholders("C")[0]
+    binding = match_accesses(update.accesses, [write_access(c, (i, j))])
+    assert binding is None
+    binding = match_accesses(
+        update.accesses, [write_access(c, (i, j))], allow_extra=True
+    )
+    assert binding is not None
+
+
+def test_distinct_dims_constraint():
+    from repro.poly.access import AccessRelation
+    from repro.poly.affine import AffineExpr
+
+    accesses = [
+        AccessRelation("X", AccessKind.WRITE, (AffineExpr.var("i"), AffineExpr.var("i"))),
+    ]
+    i, j = dim_placeholders("i", "j")
+    x = array_placeholders("X")[0]
+    assert match_accesses(accesses, [write_access(x, (i, j))]) is None
+    assert (
+        match_accesses(accesses, [write_access(x, (i, j))], distinct_dims=False)
+        is not None
+    )

@@ -1,0 +1,167 @@
+"""Tests for the GEMM / GEMV / conv2d pattern finders."""
+
+import pytest
+
+from repro.frontend import parse_program
+from repro.ir.expr import FloatConst, ParamRef
+from repro.ir.normalize import normalize_reductions
+from repro.poly import build_schedule_tree, detect_scops
+from repro.tactics import (
+    find_all_kernels,
+    find_conv2d_kernels,
+    find_gemm_kernels,
+    find_gemv_kernels,
+)
+from repro.workloads import get_kernel
+
+
+def _analyse(source):
+    program = normalize_reductions(parse_program(source))
+    scop = detect_scops(program)[0]
+    return scop, build_schedule_tree(scop)
+
+
+def test_gemm_detected_with_alpha_beta(gemm_source):
+    scop, tree = _analyse(gemm_source)
+    matches = find_gemm_kernels(scop, tree)
+    assert len(matches) == 1
+    match = matches[0]
+    assert match.kind == "gemm"
+    assert match.arrays == {"C": "C", "A": "A", "B": "B"}
+    assert match.dims == {"i": "i", "j": "j", "k": "k"}
+    assert match.init_stmt is not None
+    assert isinstance(match.alpha, ParamRef) and match.alpha.name == "alpha"
+    assert isinstance(match.beta, ParamRef) and match.beta.name == "beta"
+    assert not match.trans_a and not match.trans_b
+
+
+def test_gemm_extent_expressions(gemm_source):
+    scop, tree = _analyse(gemm_source)
+    match = find_gemm_kernels(scop, tree)[0]
+    assert str(match.m_expr) == "M"
+    assert str(match.n_expr) == "N"
+    assert str(match.k_expr) == "K"
+    assert match.extent("i", {"M": 7, "N": 3, "K": 2}) == 7
+    assert match.macs({"M": 2, "N": 3, "K": 4}) == 24
+
+
+def test_gemm_without_init_has_beta_one(two_gemms_source):
+    scop, tree = _analyse(two_gemms_source)
+    matches = find_gemm_kernels(scop, tree)
+    assert len(matches) == 2
+    for match in matches:
+        assert match.init_stmt is None
+        assert isinstance(match.beta, FloatConst) and match.beta.value == 1.0
+
+
+def test_transposed_gemm_detected():
+    source = """
+    void f(int M, int N, int K, float C[M][N], float A[K][M], float B[K][N]) {
+      for (int i = 0; i < M; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < K; k++)
+            C[i][j] += A[k][i] * B[k][j];
+    }
+    """
+    scop, tree = _analyse(source)
+    match = find_gemm_kernels(scop, tree)[0]
+    assert match.trans_a and not match.trans_b
+
+
+def test_non_contraction_not_matched_as_gemm():
+    source = """
+    void f(int N, float C[N][N], float A[N][N], float B[N][N]) {
+      for (int i = 0; i < N; i++)
+        for (int j = 0; j < N; j++)
+          for (int k = 0; k < N; k++)
+            C[i][j] += A[i][k] + B[k][j];
+    }
+    """
+    scop, tree = _analyse(source)
+    assert find_gemm_kernels(scop, tree) == []
+
+
+def test_gemv_detected(gemv_source):
+    scop, tree = _analyse(gemv_source)
+    matches = find_gemv_kernels(scop, tree)
+    assert len(matches) == 1
+    match = matches[0]
+    assert match.arrays == {"y": "y", "A": "A", "x": "x"}
+    assert match.init_stmt is not None
+    assert isinstance(match.beta, FloatConst) and match.beta.value == 0.0
+    assert not match.trans_a
+
+
+def test_transposed_gemv_detected():
+    kernel = get_kernel("mvt")
+    program = normalize_reductions(parse_program(kernel.source))
+    scops = detect_scops(program)
+    scop = scops[0]
+    tree = build_schedule_tree(scop)
+    matches = find_gemv_kernels(scop, tree)
+    assert len(matches) == 2
+    assert sorted(m.trans_a for m in matches) == [False, True]
+
+
+def test_conv2d_detected(conv_source):
+    scop, tree = _analyse(conv_source)
+    matches = find_conv2d_kernels(scop, tree)
+    assert len(matches) == 1
+    match = matches[0]
+    assert match.arrays["out"] == "out"
+    assert match.arrays["img"] == "img"
+    assert match.arrays["W"] == "W"
+    assert set(match.dims) == {"i", "j", "p", "q"}
+    assert match.init_stmt is not None
+
+
+def test_find_all_kernels_claims_each_statement_once(gemm_source):
+    scop, tree = _analyse(gemm_source)
+    matches = find_all_kernels(scop, tree)
+    assert len(matches) == 1
+    assert matches[0].kind == "gemm"   # GEMM shadows a possible GEMV reading
+
+
+def test_gemm_preferred_over_gemv_for_3d_contraction(two_gemms_source):
+    scop, tree = _analyse(two_gemms_source)
+    matches = find_all_kernels(scop, tree)
+    assert {m.kind for m in matches} == {"gemm"}
+
+
+def test_subtree_root_covers_whole_nest_for_gemm(gemm_source):
+    scop, tree = _analyse(gemm_source)
+    match = find_gemm_kernels(scop, tree)[0]
+    root = match.subtree_root(tree)
+    from repro.poly.schedule_tree import BandNode
+
+    assert isinstance(root, BandNode) and root.dims == ["i"]
+    assert root is tree.child
+
+
+def test_band_chain_for_update_statement(gemm_source):
+    scop, tree = _analyse(gemm_source)
+    match = find_gemm_kernels(scop, tree)[0]
+    chain = match.band_chain(tree)
+    assert [b.dims[0] for b in chain] == ["i", "j", "k"]
+
+
+def test_polybench_kernel_detection_counts():
+    expected = {
+        "gemm": {"gemm": 1},
+        "2mm": {"gemm": 2},
+        "3mm": {"gemm": 3},
+        "conv": {"conv2d": 1},
+        "gesummv": {"gemv": 2},
+        "bicg": {"gemv": 2},
+        "mvt": {"gemv": 2},
+        "atax": {"gemv": 2},
+    }
+    for name, counts in expected.items():
+        kernel = get_kernel(name)
+        program = normalize_reductions(parse_program(kernel.source))
+        found: dict[str, int] = {}
+        for scop in detect_scops(program):
+            tree = build_schedule_tree(scop)
+            for match in find_all_kernels(scop, tree):
+                found[match.kind] = found.get(match.kind, 0) + 1
+        assert found == counts, f"{name}: {found} != {counts}"
