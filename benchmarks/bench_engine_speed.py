@@ -1,0 +1,120 @@
+"""Engine speed benchmark: interpreter vs. vectorized execution.
+
+Times the reference tree-walking interpreter against the compiled
+vectorized engine (and its einsum "fast" mode) on host-executed PolyBench
+kernels, and writes ``BENCH_PR1.json`` with per-kernel wall times and
+speedups — the first point of the performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py            # full
+    PYTHONPATH=src python benchmarks/bench_engine_speed.py --smoke    # CI
+
+The full run times the interpreter once per kernel (it is the slow thing
+being measured — a 256x256x256 GEMM takes on the order of a minute) and the
+vectorized engines over several repetitions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.frontend import parse_program
+from repro.ir import make_engine
+from repro.ir.normalize import normalize_reductions
+from repro.workloads.polybench import KERNELS
+
+#: (kernel, params, headline size) per benchmark point.
+FULL_CASES = [
+    ("gemm", {"NI": 256, "NJ": 256, "NK": 256, "alpha": 1.5, "beta": 1.2}, 256),
+    ("2mm", {"NI": 128, "NJ": 128, "NK": 128, "NL": 128, "alpha": 1.5, "beta": 1.2}, 128),
+    ("mvt", {"N": 512}, 512),
+    ("conv", {"OH": 96, "OW": 96, "KH": 5, "KW": 5, "alpha": 1.0}, 96),
+]
+
+SMOKE_CASES = [
+    ("gemm", {"NI": 24, "NJ": 24, "NK": 24, "alpha": 1.5, "beta": 1.2}, 24),
+    ("mvt", {"N": 48}, 48),
+    ("conv", {"OH": 16, "OW": 16, "KH": 3, "KW": 3, "alpha": 1.0}, 16),
+]
+
+
+def _time_engine(program, engine_name, params, arrays, repeats=1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        engine = make_engine(program, engine=engine_name)
+        start = time.perf_counter()
+        engine.run(params, arrays)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    cases = SMOKE_CASES if smoke else FULL_CASES
+    results = []
+    for name, params, size in cases:
+        kernel = KERNELS[name]
+        program = normalize_reductions(parse_program(kernel.source))
+        arrays = kernel.init_arrays(params, 0)
+        vec_s = _time_engine(program, "vectorized", params, arrays, repeats=3)
+        fast_s = _time_engine(program, "vectorized-fast", params, arrays, repeats=3)
+        interp_s = _time_engine(program, "interpreter", params, arrays, repeats=1)
+        speedup = interp_s / vec_s if vec_s > 0 else float("inf")
+        results.append(
+            {
+                "kernel": name,
+                "category": kernel.category,
+                "size": size,
+                "params": params,
+                "interpreter_s": round(interp_s, 6),
+                "vectorized_s": round(vec_s, 6),
+                "vectorized_fast_s": round(fast_s, 6),
+                "speedup": round(speedup, 2),
+                "speedup_fast": round(interp_s / fast_s, 2) if fast_s > 0 else None,
+            }
+        )
+        print(
+            f"{name:8s} size={size:4d}  interp={interp_s:9.4f}s  "
+            f"vectorized={vec_s:8.4f}s  fast={fast_s:8.4f}s  "
+            f"speedup={speedup:9.1f}x"
+        )
+    return {
+        "benchmark": "engine_speed",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="tiny sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    if not args.smoke:
+        gemm_points = [
+            r
+            for r in payload["results"]
+            if r["category"] == "gemm-like" and r["size"] >= 256
+        ]
+        assert gemm_points and all(r["speedup"] >= 10 for r in gemm_points), (
+            "expected >= 10x speedup on GEMM-class kernels at size >= 256"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -27,9 +27,10 @@ from repro.compiler import (
     compile_source,
 )
 from repro.codegen import OffloadExecutor, ExecutionReport
+from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
 from repro.system import CimSystem, SystemConfig
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompileOptions",
@@ -41,5 +42,8 @@ __all__ = [
     "ExecutionReport",
     "CimSystem",
     "SystemConfig",
+    "ENGINE_MODES",
+    "VectorizedEngine",
+    "make_engine",
     "__version__",
 ]

@@ -35,6 +35,7 @@ from repro.codegen.runtime_calls import (
     MallocCallArgs,
 )
 from repro.host.cost_model import HostCostModel, HostExecutionEstimate
+from repro.ir.engine import make_engine, validate_engine
 from repro.ir.expr import Expr
 from repro.ir.interp import Interpreter, evaluate_expr
 from repro.ir.program import Program
@@ -99,15 +100,35 @@ class ExecutionReport:
 
 
 class OffloadExecutor:
-    """Runs IR programs against the emulated host + CIM system."""
+    """Runs IR programs against the emulated host + CIM system.
+
+    ``engine`` selects the execution engine for the host-side IR (see
+    :data:`repro.ir.engine.ENGINE_MODES`): the compiled ``"vectorized"``
+    engine (default, bit-identical to the interpreter), the reference
+    ``"interpreter"``, or ``"vectorized-fast"`` (einsum lowering, results
+    only approximately equal).  All engines produce identical execution
+    traces, so the cost-model numbers do not depend on this choice.
+
+    Engine precedence, most specific wins: the ``engine`` argument of
+    :meth:`run`, then an ``engine`` given to this constructor, then the
+    :class:`~repro.compiler.options.CompileOptions` of a
+    ``CompilationResult`` passed to :meth:`run`, then ``"vectorized"``.
+    """
 
     def __init__(
         self,
         system: Optional[CimSystem] = None,
         host_cost_model: Optional[HostCostModel] = None,
+        engine: Optional[str] = None,
     ):
+        if engine is not None:
+            validate_engine(engine)
         self.system = system or CimSystem()
         self.host_cost_model = host_cost_model or HostCostModel(self.system.config.host)
+        #: Explicit engine choice; ``None`` defers to the compiled options.
+        self.engine = engine
+        #: Engine actually used by the most recent :meth:`run` call.
+        self.last_engine_used: Optional[str] = None
         self._buffers: dict[str, DeviceBuffer] = {}
         self._buffer_arrays: dict[str, str] = {}
 
@@ -118,8 +139,30 @@ class OffloadExecutor:
         params: Mapping[str, int | float],
         arrays: Optional[Mapping[str, np.ndarray]] = None,
         reset_stats: bool = True,
+        engine: Optional[str] = None,
     ) -> tuple[dict[str, np.ndarray], ExecutionReport]:
-        """Execute *program* and return (final arrays, execution report)."""
+        """Execute *program* and return (final arrays, execution report).
+
+        *program* may also be a
+        :class:`~repro.compiler.driver.CompilationResult`, in which case
+        the compiled program is executed and — unless ``engine`` is given
+        explicitly — the engine choice from its
+        :class:`~repro.compiler.options.CompileOptions` is honoured.
+        """
+        # Accept a CompilationResult (duck-typed to avoid a compiler
+        # import cycle) and pick up its engine option.
+        options_engine = None
+        if hasattr(program, "program") and hasattr(program, "report"):
+            options = getattr(program, "options", None)
+            if options is not None:
+                options_engine = options.engine
+            program = program.program
+        # Validate before touching any executor/system state, so a typo'd
+        # engine name does not wipe the previous run's statistics.
+        self.last_engine_used = validate_engine(
+            engine or self.engine or options_engine or "vectorized"
+        )
+
         if reset_stats:
             self.system.reset_stats()
         self._buffers.clear()
@@ -131,7 +174,9 @@ class OffloadExecutor:
         overhead_instr_before = overhead.instructions
         runs_before = len(self.system.accelerator.completed_runs)
 
-        interpreter = Interpreter(program, call_handler=self._handle_call)
+        interpreter = make_engine(
+            program, call_handler=self._handle_call, engine=self.last_engine_used
+        )
         final_arrays = interpreter.run(params, arrays)
 
         report = ExecutionReport(program_name=program.name)

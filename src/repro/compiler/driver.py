@@ -35,6 +35,9 @@ class CompilationResult:
     trees: list[DomainNode] = field(default_factory=list)
     matches: list[KernelMatch] = field(default_factory=list)
     mappings: list[DeviceMappingResult] = field(default_factory=list)
+    #: The options this result was compiled with.  The executor reads the
+    #: ``engine`` choice from here when a result is passed to ``run``.
+    options: Optional[CompileOptions] = None
 
     @property
     def offloaded(self) -> bool:
@@ -71,6 +74,7 @@ class TdoCimCompiler:
             program=program,
             report=report,
             scops=scops,
+            options=options,
         )
         if not scops or not options.enable_offload:
             # Nothing to do: the "compiled" program is the input program.

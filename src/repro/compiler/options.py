@@ -39,6 +39,19 @@ class CompileOptions:
     #: disables the heuristic (the paper's default behaviour); the paper's
     #: "Selective Geomean" corresponds to a threshold of a few tens.
     min_macs_per_write: float | None = None
+    #: Execution engine for the host-side IR: ``"vectorized"`` (compiled
+    #: NumPy kernels, bit-identical to the interpreter), ``"interpreter"``
+    #: (the reference tree-walker), or ``"vectorized-fast"`` (einsum
+    #: contraction lowering, reassociates floating-point sums).  Honoured
+    #: automatically when the :class:`CompilationResult` is passed to
+    #: :meth:`OffloadExecutor.run`; it does not change the generated code
+    #: or any cost-model report.
+    engine: str = "vectorized"
+
+    def __post_init__(self) -> None:
+        from repro.ir.engine import validate_engine
+
+        validate_engine(self.engine)
 
     def wants_kind(self, kind: str) -> bool:
         return kind in self.offload_kinds

@@ -79,6 +79,8 @@ class CIMAccelerator:
         energy_model: Optional[CimEnergyModel] = None,
         crossbar_config: Optional[CrossbarConfig] = None,
         double_buffering: bool = True,
+        batch_gemv: bool = True,
+        reuse_resident_gemv: bool = True,
     ):
         self.energy_model = energy_model or CimEnergyModel()
         self.energy = EnergyLedger()
@@ -93,6 +95,8 @@ class CIMAccelerator:
             counters=self.counters,
             timeline=self.timeline,
             double_buffering=double_buffering,
+            batch_gemv=batch_gemv,
+            reuse_resident_gemv=reuse_resident_gemv,
         )
         self.registers = ContextRegisterFile(on_start=self._on_start)
         self.completed_runs: list[AcceleratorRunStats] = []
@@ -267,3 +271,6 @@ class CIMAccelerator:
         self.energy.reset()
         self.counters.reset()
         self.timeline.clear()
+        # A fresh measurement starts from a cold crossbar: forgetting the
+        # resident operand keeps repeated identical runs reproducible.
+        self.micro_engine.invalidate_residency()

@@ -12,7 +12,10 @@ Two numeric modes are supported:
 * ``ideal`` — operands are kept at full floating-point precision.  Wear,
   energy and latency are still accounted as if the values had been
   programmed at 8-bit resolution.  Integration tests use this mode so the
-  offloaded program is bit-comparable with the host reference.
+  offloaded program matches the host reference to floating-point rounding
+  (batched GEMV dispatch maps to one BLAS matmul, which may round a few
+  ULPs differently from per-vector products; disable
+  ``SystemConfig.batch_gemv`` for the exact sequential dispatch).
 * ``quantized`` — operands are quantised to signed 8-bit fixed point (with a
   per-write scale factor), split into 4-bit MSB/LSB device levels, multiplied
   in the "analog" domain, digitised by the shared ADC and recombined
@@ -70,12 +73,13 @@ class WriteReport:
 
 @dataclass
 class GemvReport:
-    """Result of one analog GEMV."""
+    """Result of one analog GEMV (or a batch of GEMVs)."""
 
     rows_active: int = 0
     cols_active: int = 0
     macs: int = 0
     adc_conversions: int = 0
+    gemv_count: int = 1
 
 
 class Crossbar:
@@ -175,13 +179,43 @@ class Crossbar:
         8 bits, the two device planes produce partial sums, and the digital
         logic recombines and de-quantises them.
         """
+        x = np.asarray(x, dtype=np.float64).ravel()
+        result, report = self.gemv_batch(x[np.newaxis, :], rows_active, cols_active)
+        report.gemv_count = 1
+        return result[0], report
+
+    def gemv_batch(
+        self,
+        x: np.ndarray,
+        rows_active: Optional[int] = None,
+        cols_active: Optional[int] = None,
+    ) -> tuple[np.ndarray, GemvReport]:
+        """Compute ``Y = X @ G`` for a batch of input vectors in one step.
+
+        ``x`` has shape ``(n_vectors, rows_active)``; the result has shape
+        ``(n_vectors, cols_active)``.  This is the batch of per-vector
+        :meth:`gemv` calls in one dispatch.  In ``quantized`` mode the
+        per-vector input scale, the MSB/LSB device-plane partial products,
+        the ADC and the digital recombination are applied vectorized across
+        the whole batch; the device levels are small integers, so the
+        float64 partial sums are exact and the batch is *bit-identical* to
+        the sequential path.  In ``ideal`` mode one matmul replaces
+        ``n_vectors`` vector products — BLAS may round the batched matmul
+        differently from per-vector products, so results agree to within a
+        few ULPs (not bitwise).  Wear, MAC, GEMV and ADC accounting matches
+        ``n_vectors`` sequential calls exactly in both modes.
+        """
         cfg = self.config
         rows_active = cfg.rows if rows_active is None else rows_active
         cols_active = cfg.cols if cols_active is None else cols_active
-        x = np.asarray(x, dtype=np.float64).ravel()
-        if x.size != rows_active:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError("batched GEMV expects a 2-D input (vectors as rows)")
+        n_vectors = x.shape[0]
+        if x.shape[1] != rows_active:
             raise ValueError(
-                f"input vector has {x.size} entries, expected {rows_active}"
+                f"input vector{'s have' if n_vectors != 1 else ' has'} "
+                f"{x.shape[1]} entries, expected {rows_active}"
             )
         if rows_active > cfg.rows or cols_active > cfg.cols:
             raise ValueError("active region exceeds crossbar geometry")
@@ -189,26 +223,35 @@ class Crossbar:
         report = GemvReport(
             rows_active=rows_active,
             cols_active=cols_active,
-            macs=rows_active * cols_active,
-            adc_conversions=self.adc.conversion_rounds(cols_active)
+            macs=n_vectors * rows_active * cols_active,
+            adc_conversions=n_vectors
+            * self.adc.conversion_rounds(cols_active)
             * cfg.adc.columns_per_adc,
+            gemv_count=n_vectors,
         )
-        self.total_gemvs += 1
+        self.total_gemvs += n_vectors
         self.total_macs += report.macs
+        if n_vectors == 0:
+            return np.zeros((0, cols_active)), report
 
         if cfg.mode == "ideal":
-            result = x @ self._values[:rows_active, :cols_active]
+            values = self._values[:rows_active, :cols_active]
+            if n_vectors == 1:
+                # Keep the single-vector call on the historical dgemv path
+                # so lone GEMVs stay bit-for-bit stable.
+                result = (x[0] @ values)[np.newaxis, :]
+            else:
+                result = x @ values
             return result, report
 
-        # Quantized mode: mimic the mixed-signal path.
-        x_max = float(np.max(np.abs(x))) if x.size else 0.0
-        x_scale = x_max / 127.0 if x_max > 0 else 1.0
-        xq = np.rint(x / x_scale).astype(np.int64) if x_max > 0 else np.zeros_like(
-            x, dtype=np.int64
+        # Quantized mode, vectorized over the batch (one scale per vector).
+        x_max = (
+            np.max(np.abs(x), axis=1) if x.shape[1] else np.zeros(n_vectors)
         )
+        x_scale = np.where(x_max > 0, x_max / 127.0, 1.0)
+        xq_f = np.rint(x / x_scale[:, None])
         msb = self.msb_plane.levels[:rows_active, :cols_active].astype(np.float64)
         lsb = self.lsb_plane.levels[:rows_active, :cols_active].astype(np.float64)
-        xq_f = xq.astype(np.float64)
         # Analog partial dot products (per device plane), then ADC.
         msb_partial = xq_f @ msb
         lsb_partial = xq_f @ lsb
@@ -218,12 +261,13 @@ class Crossbar:
         combined = self.digital.weighted_column_sum(
             msb_partial, lsb_partial, cfg.device_bits
         )
+        self.digital.weighted_sums += n_vectors - 1  # one per logical GEMV
         # Remove the +128 unsigned offset: subtract 128 * sum(xq) per column.
-        offset_term = 128.0 * float(xq_f.sum())
-        self.digital.alu_ops += cols_active
+        offset_term = 128.0 * xq_f.sum(axis=1, keepdims=True)
+        self.digital.alu_ops += n_vectors * cols_active
         combined = combined - offset_term
         # De-quantise.
-        result = combined * self._scale * x_scale
+        result = combined * self._scale * x_scale[:, None]
         return result, report
 
     # ------------------------------------------------------------------

@@ -97,28 +97,43 @@ class CIMTile:
         cols_active: Optional[int] = None,
     ) -> tuple[np.ndarray, TileOperationCost]:
         """One analog matrix-vector product over the active sub-array."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        result, cost = self.gemv_batch(x[np.newaxis, :], rows_active, cols_active)
+        return result[0], cost
+
+    def gemv_batch(
+        self,
+        x: np.ndarray,
+        rows_active: Optional[int] = None,
+        cols_active: Optional[int] = None,
+    ) -> tuple[np.ndarray, TileOperationCost]:
+        """A batch of analog GEMVs over the same programmed operand.
+
+        ``x`` holds the input vectors as rows.  Energy, latency, buffer
+        traffic and counter totals equal those of the per-vector
+        :meth:`gemv` calls; only the dispatch is batched.
+        """
         x = np.asarray(x, dtype=np.float64)
-        result, report = self.crossbar.gemv(x, rows_active, cols_active)
+        result, report = self.crossbar.gemv_batch(x, rows_active, cols_active)
+        n_vectors = report.gemv_count
         model = self.energy_model
-        # Buffer traffic: the input vector is latched in the row buffers, the
-        # digitised outputs land in the output buffer (4 bytes per value).
-        input_bytes = report.rows_active
-        output_bytes = report.cols_active * 4
+        input_bytes = n_vectors * report.rows_active
+        output_bytes = n_vectors * report.cols_active * 4
         self._stage_buffer_traffic(self.row_buffer, input_bytes)
         self._stage_buffer_traffic(self.output_buffer, output_bytes)
         buffer_bytes = input_bytes + output_bytes
         energy = (
             report.macs * model.compute_energy_per_mac_j
-            + model.mixed_signal_energy_per_gemv_j
-            + model.digital_weighted_sum_per_gemv_j
+            + n_vectors * model.mixed_signal_energy_per_gemv_j
+            + n_vectors * model.digital_weighted_sum_per_gemv_j
             + buffer_bytes * model.buffer_energy_per_byte_j
         )
-        latency = model.compute_latency_per_gemv_s
+        latency = n_vectors * model.compute_latency_per_gemv_s
         self.energy.add("cim.crossbar_compute", report.macs * model.compute_energy_per_mac_j)
-        self.energy.add("cim.mixed_signal", model.mixed_signal_energy_per_gemv_j)
-        self.energy.add("cim.digital_logic", model.digital_weighted_sum_per_gemv_j)
+        self.energy.add("cim.mixed_signal", n_vectors * model.mixed_signal_energy_per_gemv_j)
+        self.energy.add("cim.digital_logic", n_vectors * model.digital_weighted_sum_per_gemv_j)
         self.energy.add("cim.buffers", buffer_bytes * model.buffer_energy_per_byte_j)
-        self.counters.add("cim.gemv_ops", 1)
+        self.counters.add("cim.gemv_ops", n_vectors)
         self.counters.add("cim.macs", report.macs)
         return result, TileOperationCost(energy, latency)
 

@@ -38,6 +38,7 @@ from repro.ir.builder import IRBuilder
 from repro.ir.printer import to_source
 from repro.ir.visitor import IRVisitor, IRTransformer, walk
 from repro.ir.interp import Interpreter, ExecutionTrace
+from repro.ir.engine import ENGINE_MODES, VectorizedEngine, make_engine
 
 __all__ = [
     "ElementType",
@@ -67,4 +68,7 @@ __all__ = [
     "walk",
     "Interpreter",
     "ExecutionTrace",
+    "ENGINE_MODES",
+    "VectorizedEngine",
+    "make_engine",
 ]

@@ -1,0 +1,568 @@
+"""Vectorization analysis: loop distribution and axis classification.
+
+The engine turns a loop nest into an execution *plan*:
+
+1. **Structural screening** — the nest may contain only counted loops and
+   array assignments, with affine-friendly bound and index expressions.
+   Anything else (calls, data-dependent branches, scalar accumulators,
+   indirect indexing) makes the whole nest fall back to the interpreter.
+2. **Loop distribution** — each loop body is split into independence groups
+   (maximal loop fission), so that a statement sharing a loop with an
+   unrelated reduction does not inhibit its vectorization.  Two statements
+   stay in the same group only when they conflict: they touch a common
+   array, at least one writes it, and the accesses are not aligned on the
+   loop variable.
+3. **Classification** — every distributed loop is marked ``vec`` (executed
+   as a NumPy array axis) or sequential (a Python loop).  A loop is
+   vectorizable when every array written in its subtree is accessed through
+   a dedicated dimension that is affine in the loop variable with a nonzero
+   coefficient (and independent of the other vectorized variables), which
+   guarantees that distinct iterations touch disjoint elements.  Reduction
+   loops — the loop variable missing from the target subscripts — stay
+   sequential, which is what keeps floating-point accumulation order, and
+   therefore results, bit-identical to the interpreter.
+
+The plan also records which reduction loops can be lowered to
+``np.einsum`` contractions; the engine only uses those taggings in its
+opt-in "fast" mode because einsum reassociates the reduction sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+from repro.ir.expr import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    FloatConst,
+    IntConst,
+    Max,
+    Min,
+    ParamRef,
+    UnaryOp,
+    VarRef,
+)
+from repro.ir.stmt import Assign, Block, Loop, Stmt
+from repro.poly.affine import affine_from_expr
+
+# ----------------------------------------------------------------------
+# Plan nodes
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class PlanAssign:
+    """One assignment inside a planned nest."""
+
+    stmt: Assign
+    #: Names of the enclosing vectorized loop variables, outermost first
+    #: (filled in after classification).
+    vec_vars: tuple[str, ...] = ()
+
+
+@dataclass
+class PlanLoop:
+    """One (possibly distributed) loop of the plan."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: int
+    body: list["PlanNode"] = field(default_factory=list)
+    vec: bool = True
+    #: Einsum lowering of a sequential reduction loop (fast mode only).
+    einsum: Optional["EinsumSpec"] = None
+    # Compiled bound closures, filled lazily by the engine.
+    lower_fn: Optional[Callable] = None
+    upper_fn: Optional[Callable] = None
+
+
+PlanNode = Union[PlanLoop, PlanAssign]
+
+
+@dataclass
+class NestPlan:
+    """Complete plan for one top-level loop nest."""
+
+    root: Loop
+    nodes: list[PlanNode] = field(default_factory=list)
+    #: Per original-loop id: loop variables referenced by bounds deeper in
+    #: the nest (drives enumeration in the analytical trace pass).
+    enumerate_vars: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    @property
+    def has_vectorized_loop(self) -> bool:
+        def any_vec(nodes: list[PlanNode]) -> bool:
+            for node in nodes:
+                if isinstance(node, PlanLoop):
+                    if node.vec or any_vec(node.body):
+                        return True
+            return False
+
+        return any_vec(self.nodes)
+
+
+@dataclass
+class EinsumSpec:
+    """A reduction loop recognised as a multiplicative contraction."""
+
+    #: The reduction variable (the tagged loop's own variable).
+    red_var: str
+    #: Array factors: (array name, per-dimension variable names).
+    array_factors: tuple[tuple[str, tuple[str, ...]], ...]
+    #: Scalar factors: compiled closures over (scalars, arrays).
+    scalar_exprs: tuple[Expr, ...]
+    #: Target array and its subscript variables (plain, one var per dim).
+    target: str
+    target_vars: tuple[str, ...]
+
+
+# ----------------------------------------------------------------------
+# Structural screening
+# ----------------------------------------------------------------------
+
+
+def _index_expr_ok(expr: Expr) -> bool:
+    """Index expressions must stay integer-exact under NumPy evaluation."""
+    if isinstance(expr, (IntConst, VarRef, ParamRef)):
+        return True
+    if isinstance(expr, BinOp):
+        # "/" would produce floats (the interpreter truncates with int());
+        # everything else is exact integer arithmetic in both worlds.
+        return (
+            expr.op in ("+", "-", "*", "%")
+            and _index_expr_ok(expr.lhs)
+            and _index_expr_ok(expr.rhs)
+        )
+    if isinstance(expr, UnaryOp):
+        return _index_expr_ok(expr.operand)
+    if isinstance(expr, (Min, Max)):
+        return _index_expr_ok(expr.lhs) and _index_expr_ok(expr.rhs)
+    return False  # ArrayRef (indirect indexing), FloatConst, unknown nodes
+
+
+def _bound_expr_ok(expr: Expr) -> bool:
+    """Loop bounds evaluated analytically must be integer-exact."""
+    return _index_expr_ok(expr)
+
+
+def _value_expr_ok(expr: Expr) -> bool:
+    """Right-hand sides must evaluate identically element- and array-wise.
+
+    ``Min``/``Max`` are excluded: the interpreter evaluates them with
+    Python's ``min``/``max`` (which preserves operand dtypes) while the
+    vectorized path would promote, so bit-identity could be lost.
+    """
+    if isinstance(expr, (IntConst, FloatConst, VarRef, ParamRef)):
+        return True
+    if isinstance(expr, ArrayRef):
+        return all(_index_expr_ok(i) for i in expr.indices)
+    if isinstance(expr, BinOp):
+        return _value_expr_ok(expr.lhs) and _value_expr_ok(expr.rhs)
+    if isinstance(expr, UnaryOp):
+        return _value_expr_ok(expr.operand)
+    return False
+
+
+def _loop_vars_in(root: Loop) -> set[str]:
+    return {node.var for node in root.walk() if isinstance(node, Loop)}
+
+
+def _screen_nest(root: Loop) -> bool:
+    """True when the whole nest is made of plannable constructs."""
+    for node in root.walk():
+        if isinstance(node, Loop):
+            if not (_bound_expr_ok(node.lower) and _bound_expr_ok(node.upper)):
+                return False
+        elif isinstance(node, Assign):
+            if not isinstance(node.target, ArrayRef):
+                return False  # scalar accumulators stay on the interpreter
+            if not all(_index_expr_ok(i) for i in node.target.indices):
+                return False
+            if not _value_expr_ok(node.rhs):
+                return False
+        elif isinstance(node, Block):
+            continue
+        else:
+            return False  # IfStmt, CallStmt, anything unknown
+    return True
+
+
+def _compute_enumerate_vars(root: Loop) -> Optional[dict[int, frozenset[str]]]:
+    """Loop variables that deeper bounds reference, per original loop.
+
+    Returns ``None`` when the analytical trace pass cannot handle the nest:
+    a loop that must be enumerated (its variable appears in deeper bounds)
+    must itself have parameter-only bounds, otherwise the enumeration would
+    be ragged.
+    """
+    loop_vars = _loop_vars_in(root)
+    result: dict[int, frozenset[str]] = {}
+
+    def visit(loop: Loop) -> set[str]:
+        used: set[str] = set()
+        for child in loop.body.walk():
+            if isinstance(child, Loop):
+                used |= (child.lower.free_vars() | child.upper.free_vars()) & loop_vars
+        result[id(loop)] = frozenset(used)
+        return used
+
+    for node in root.walk():
+        if isinstance(node, Loop):
+            needed = visit(node)
+            if node.var in needed:
+                own = (node.lower.free_vars() | node.upper.free_vars()) & loop_vars
+                if own:
+                    return None  # ragged enumeration — fall back
+    return result
+
+
+# ----------------------------------------------------------------------
+# Access collection
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Accesses:
+    """Array accesses of one plan subtree."""
+
+    reads: dict[str, list[tuple[Expr, ...]]] = field(default_factory=dict)
+    writes: dict[str, list[tuple[Expr, ...]]] = field(default_factory=dict)
+
+    def add_read(self, name: str, indices: tuple[Expr, ...]) -> None:
+        self.reads.setdefault(name, []).append(indices)
+
+    def add_write(self, name: str, indices: tuple[Expr, ...]) -> None:
+        self.writes.setdefault(name, []).append(indices)
+
+    def all_accesses(self, name: str) -> list[tuple[Expr, ...]]:
+        return self.reads.get(name, []) + self.writes.get(name, [])
+
+    def touched(self) -> set[str]:
+        return set(self.reads) | set(self.writes)
+
+
+def _collect_accesses(node: PlanNode, acc: Optional[_Accesses] = None) -> _Accesses:
+    acc = acc or _Accesses()
+    if isinstance(node, PlanAssign):
+        stmt = node.stmt
+        target = stmt.target
+        assert isinstance(target, ArrayRef)
+        acc.add_write(target.name, target.indices)
+        if stmt.reduction is not None:
+            acc.add_read(target.name, target.indices)  # implicit load
+        for sub in stmt.rhs.walk():
+            if isinstance(sub, ArrayRef):
+                acc.add_read(sub.name, sub.indices)
+    else:
+        for child in node.body:
+            _collect_accesses(child, acc)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# Alignment tests
+# ----------------------------------------------------------------------
+
+
+def _aligned_dim(
+    accesses: list[tuple[Expr, ...]],
+    var: str,
+    loop_vars: set[str],
+    exclude_vars: set[str],
+) -> bool:
+    """True when a dimension separates *var* iterations for all accesses.
+
+    The dimension must carry a syntactically identical index expression in
+    every access, affine in *var* with a nonzero coefficient, and with zero
+    coefficients for every variable in *exclude_vars* (the other vectorized
+    variables — this keeps the joint write mapping injective).
+    """
+    ranks = {len(t) for t in accesses}
+    if len(ranks) != 1:
+        return False
+    (rank,) = ranks
+    for d in range(rank):
+        first = accesses[0][d]
+        if any(acc[d] != first for acc in accesses[1:]):
+            continue
+        free = first.free_vars()
+        params = free - loop_vars
+        affine = affine_from_expr(first, loop_vars, params)
+        if affine is None or affine.coeff(var) == 0:
+            continue
+        if any(affine.coeff(other) != 0 for other in exclude_vars if other != var):
+            continue
+        return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Loop distribution
+# ----------------------------------------------------------------------
+
+
+def _conflict(a: _Accesses, b: _Accesses, var: str, loop_vars: set[str]) -> bool:
+    """Do two statement groups forbid distribution of the *var* loop?"""
+    shared = a.touched() & b.touched()
+    for name in shared:
+        if name not in a.writes and name not in b.writes:
+            continue  # read-read: never a conflict
+        accesses = a.all_accesses(name) + b.all_accesses(name)
+        if not _aligned_dim(accesses, var, loop_vars, set()):
+            return True
+    return False
+
+
+def _independence_groups(
+    items: list[PlanNode], var: str, loop_vars: set[str]
+) -> list[list[PlanNode]]:
+    """Partition a loop body into maximal distributable groups (in order)."""
+    n = len(items)
+    accs = [_collect_accesses(item) for item in items]
+    parent = list(range(n))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            if _conflict(accs[i], accs[j], var, loop_vars):
+                parent[find(i)] = find(j)
+
+    # Groups must be contiguous statement ranges: emitting an interleaved
+    # group out of program order would hoist a statement above a
+    # same-iteration producer it depends on (e.g. [S1, S2, S3] with S1~S3
+    # conflicting and S3 reading what S2 writes).  Merge any groups whose
+    # index intervals overlap until all groups are intervals.
+    changed = True
+    while changed:
+        changed = False
+        members: dict[int, list[int]] = {}
+        for i in range(n):
+            members.setdefault(find(i), []).append(i)
+        intervals = sorted(
+            (min(idxs), max(idxs), root) for root, idxs in members.items()
+        )
+        for (_, hi1, r1), (lo2, _, r2) in zip(intervals, intervals[1:]):
+            if lo2 < hi1:  # interleaved
+                parent[find(r1)] = find(r2)
+                changed = True
+
+    groups: dict[int, list[PlanNode]] = {}
+    order: list[int] = []
+    for i, item in enumerate(items):
+        root = find(i)
+        if root not in groups:
+            groups[root] = []
+            order.append(root)
+        groups[root].append(item)
+    return [groups[root] for root in order]
+
+
+# ----------------------------------------------------------------------
+# Plan construction
+# ----------------------------------------------------------------------
+
+
+def _flatten_body(block: Block) -> list[Stmt]:
+    out: list[Stmt] = []
+    for stmt in block.stmts:
+        if isinstance(stmt, Block):
+            out.extend(_flatten_body(stmt))
+        else:
+            out.append(stmt)
+    return out
+
+
+def _rewrite_loop(loop: Loop, loop_vars: set[str]) -> list[PlanLoop]:
+    items: list[PlanNode] = []
+    for stmt in _flatten_body(loop.body):
+        if isinstance(stmt, Assign):
+            items.append(PlanAssign(stmt))
+        else:
+            assert isinstance(stmt, Loop)
+            items.extend(_rewrite_loop(stmt, loop_vars))
+    groups = _independence_groups(items, loop.var, loop_vars)
+    return [
+        PlanLoop(loop.var, loop.lower, loop.upper, loop.step, body=group)
+        for group in groups
+    ]
+
+
+def _vec_legal(node: PlanLoop, loop_vars: set[str], vec_names: set[str]) -> bool:
+    acc = _collect_accesses(node)
+    for name in acc.writes:
+        accesses = acc.all_accesses(name)
+        if not _aligned_dim(accesses, node.var, loop_vars, vec_names):
+            return False
+    return True
+
+
+def _classify(nodes: list[PlanNode], loop_vars: set[str]) -> None:
+    """Fixpoint VEC/SEQ classification over the plan tree."""
+
+    def all_loops(items: list[PlanNode]) -> list[PlanLoop]:
+        result = []
+        for item in items:
+            if isinstance(item, PlanLoop):
+                result.append(item)
+                result.extend(all_loops(item.body))
+        return result
+
+    loops = all_loops(nodes)
+
+    def demote_bound_deps(items: list[PlanNode], ancestors: list[PlanLoop]) -> bool:
+        changed = False
+        for item in items:
+            if not isinstance(item, PlanLoop):
+                continue
+            free = item.lower.free_vars() | item.upper.free_vars()
+            for anc in ancestors:
+                if anc.vec and anc.var in free:
+                    anc.vec = False
+                    changed = True
+            changed |= demote_bound_deps(item.body, ancestors + [item])
+        return changed
+
+    changed = True
+    while changed:
+        changed = demote_bound_deps(nodes, [])
+        vec_names = {loop.var for loop in loops if loop.vec}
+        for loop in loops:
+            if loop.vec and not _vec_legal(loop, loop_vars, vec_names):
+                loop.vec = False
+                changed = True
+                vec_names = {l.var for l in loops if l.vec}
+
+    def record_vec_vars(items: list[PlanNode], stack: tuple[str, ...]) -> None:
+        for item in items:
+            if isinstance(item, PlanAssign):
+                item.vec_vars = stack
+            else:
+                child_stack = stack + (item.var,) if item.vec else stack
+                record_vec_vars(item.body, child_stack)
+
+    record_vec_vars(nodes, ())
+
+
+# ----------------------------------------------------------------------
+# Einsum tagging (fast mode)
+# ----------------------------------------------------------------------
+
+
+def _product_factors(expr: Expr) -> Optional[list[Expr]]:
+    if isinstance(expr, BinOp) and expr.op == "*":
+        lhs = _product_factors(expr.lhs)
+        rhs = _product_factors(expr.rhs)
+        if lhs is None or rhs is None:
+            return None
+        return lhs + rhs
+    if isinstance(expr, (IntConst, FloatConst, VarRef, ParamRef, ArrayRef)):
+        return [expr]
+    return None
+
+
+def _tag_einsum(nodes: list[PlanNode], loop_vars: set[str]) -> None:
+    def visit(items: list[PlanNode], vec_stack: tuple[str, ...]) -> None:
+        for item in items:
+            if not isinstance(item, PlanLoop):
+                continue
+            if item.vec:
+                visit(item.body, vec_stack + (item.var,))
+                continue
+            visit(item.body, vec_stack)
+            if len(item.body) != 1 or not isinstance(item.body[0], PlanAssign):
+                continue
+            stmt = item.body[0].stmt
+            if stmt.reduction != "+":
+                continue
+            target = stmt.target
+            assert isinstance(target, ArrayRef)
+            allowed = set(vec_stack) | {item.var}
+            target_vars = []
+            for idx in target.indices:
+                if not (isinstance(idx, VarRef) and idx.name in vec_stack):
+                    target_vars = None
+                    break
+                target_vars.append(idx.name)
+            if target_vars is None:
+                continue
+            factors = _product_factors(stmt.rhs)
+            if factors is None:
+                continue
+            array_factors: list[tuple[str, tuple[str, ...]]] = []
+            scalar_exprs: list[Expr] = []
+            ok = item.var in stmt.rhs.free_vars()
+            for factor in factors:
+                if isinstance(factor, ArrayRef):
+                    if factor.name == target.name:
+                        ok = False
+                        break
+                    dims = []
+                    for idx in factor.indices:
+                        if not (isinstance(idx, VarRef) and idx.name in allowed):
+                            ok = False
+                            break
+                        dims.append(idx.name)
+                    if not ok:
+                        break
+                    array_factors.append((factor.name, tuple(dims)))
+                elif isinstance(factor, (VarRef, ParamRef)):
+                    if factor.name in loop_vars:
+                        ok = False
+                        break
+                    scalar_exprs.append(factor)
+                else:  # constants
+                    scalar_exprs.append(factor)
+            if ok and array_factors:
+                # Every output (vectorized) variable and the reduction
+                # variable must appear in some factor, otherwise the einsum
+                # output subscript would reference a missing input (e.g.
+                # C[i,j] += alpha * A[i,k] broadcasts over j — leave that
+                # to the exact path).
+                covered: set[str] = set()
+                for _, dims in array_factors:
+                    covered.update(dims)
+                if not (set(vec_stack) | {item.var}) <= covered:
+                    continue
+                item.einsum = EinsumSpec(
+                    red_var=item.var,
+                    array_factors=tuple(array_factors),
+                    scalar_exprs=tuple(scalar_exprs),
+                    target=target.name,
+                    target_vars=tuple(target_vars),
+                )
+
+    visit(nodes, ())
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+
+def build_plan(root: Loop) -> Optional[NestPlan]:
+    """Build the vectorized execution plan for a top-level loop nest.
+
+    Returns ``None`` when the nest cannot be vectorized (the engine then
+    falls back to the interpreter for this nest).
+    """
+    if not _screen_nest(root):
+        return None
+    enumerate_vars = _compute_enumerate_vars(root)
+    if enumerate_vars is None:
+        return None
+    loop_vars = _loop_vars_in(root)
+    nodes = _rewrite_loop(root, loop_vars)
+    _classify(nodes, loop_vars)
+    plan = NestPlan(root=root, nodes=nodes, enumerate_vars=enumerate_vars)
+    if not plan.has_vectorized_loop:
+        return None  # nothing to gain over the interpreter
+    _tag_einsum(nodes, loop_vars)
+    return plan

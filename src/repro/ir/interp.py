@@ -13,6 +13,14 @@ element over NumPy arrays.  It serves two purposes:
 
 Runtime library calls (``CallStmt``) are dispatched to a user-provided
 handler; :mod:`repro.codegen.executor` wires that handler to the CIM runtime.
+
+The interpreter caches a compiled form of every statement it executes: loop
+bounds, array index expressions and right-hand sides are compiled once into
+Python closures, and the per-execution :class:`ExecutionTrace` increments of
+each assignment are precomputed as constants.  This keeps the per-element
+work of the fallback path to a handful of dictionary lookups instead of a
+recursive tree walk per expression node.  The vectorized execution engine
+(:mod:`repro.ir.engine`) builds on the same caches.
 """
 
 from __future__ import annotations
@@ -134,6 +142,120 @@ def _count_expr_ops(expr: Expr, trace: ExecutionTrace, is_float: bool) -> None:
             trace.int_ops += max(0, len(node.indices) - 1) * 2
 
 
+def compile_expr(expr: Expr) -> Callable[[Mapping, Mapping], int | float]:
+    """Compile an IR expression into a closure over (scalars, arrays).
+
+    The closure evaluates exactly like :func:`evaluate_expr` (same numeric
+    semantics, same errors) but without re-walking the expression tree on
+    every evaluation.
+    """
+    if isinstance(expr, (IntConst, FloatConst)):
+        value = expr.value
+        return lambda scalars, arrays: value
+    if isinstance(expr, (VarRef, ParamRef)):
+        name = expr.name
+
+        def eval_var(scalars, arrays, _name=name):
+            try:
+                return scalars[_name]
+            except KeyError as exc:
+                raise InterpreterError(f"unbound variable {_name!r}") from exc
+
+        return eval_var
+    if isinstance(expr, ArrayRef):
+        name = expr.name
+        index_fns = tuple(compile_expr(i) for i in expr.indices)
+
+        if len(index_fns) == 1:
+            idx0 = index_fns[0]
+
+            def eval_ref1(scalars, arrays, _name=name, _idx=idx0):
+                array = arrays.get(_name)
+                if array is None:
+                    raise InterpreterError(f"unbound array {_name!r}")
+                return array[int(_idx(scalars, arrays))]
+
+            return eval_ref1
+
+        def eval_ref(scalars, arrays, _name=name, _fns=index_fns):
+            array = arrays.get(_name)
+            if array is None:
+                raise InterpreterError(f"unbound array {_name!r}")
+            return array[tuple(int(fn(scalars, arrays)) for fn in _fns)]
+
+        return eval_ref
+    if isinstance(expr, BinOp):
+        lhs = compile_expr(expr.lhs)
+        rhs = compile_expr(expr.rhs)
+        op = expr.op
+        if op == "+":
+            return lambda s, a: lhs(s, a) + rhs(s, a)
+        if op == "-":
+            return lambda s, a: lhs(s, a) - rhs(s, a)
+        if op == "*":
+            return lambda s, a: lhs(s, a) * rhs(s, a)
+        if op == "/":
+            return lambda s, a: lhs(s, a) / rhs(s, a)
+        if op == "%":
+            return lambda s, a: lhs(s, a) % rhs(s, a)
+        raise InterpreterError(f"unknown operator {op!r}")
+    if isinstance(expr, UnaryOp):
+        operand = compile_expr(expr.operand)
+        return lambda s, a: -operand(s, a)
+    if isinstance(expr, Min):
+        lhs = compile_expr(expr.lhs)
+        rhs = compile_expr(expr.rhs)
+        return lambda s, a: min(lhs(s, a), rhs(s, a))
+    if isinstance(expr, Max):
+        lhs = compile_expr(expr.lhs)
+        rhs = compile_expr(expr.rhs)
+        return lambda s, a: max(lhs(s, a), rhs(s, a))
+    raise InterpreterError(f"cannot evaluate expression {expr!r}")
+
+
+def assign_trace_cost(stmt: Assign, is_float: bool) -> tuple[int, int, int, int]:
+    """Per-execution trace increments of one assignment.
+
+    Returns ``(flops, int_ops, loads, stores)`` — exactly the deltas the
+    interpreter applies for one execution of *stmt* (the right-hand side
+    walk plus the store-side accounting).  Shared by the interpreter's
+    compiled fallback path and the vectorized engine's analytical trace.
+    """
+    probe = ExecutionTrace()
+    _count_expr_ops(stmt.rhs, probe, is_float)
+    flops, int_ops = probe.flops, probe.int_ops
+    loads, stores = probe.loads, 0
+    if isinstance(stmt.target, ArrayRef):
+        stores += 1
+        int_ops += max(0, len(stmt.target.indices) - 1) * 2
+        if stmt.reduction == "+":
+            loads += 1
+            flops += 1 if is_float else 0
+            int_ops += 0 if is_float else 1
+        elif stmt.reduction == "*":
+            loads += 1
+            flops += 1 if is_float else 0
+    else:
+        if stmt.reduction in ("+", "*"):
+            flops += 1
+    return flops, int_ops, loads, stores
+
+
+@dataclass
+class _CompiledAssign:
+    """Cached execution plan of one assignment statement."""
+
+    rhs_fn: Callable
+    target_name: Optional[str]  # None for scalar targets
+    index_fns: tuple
+    reduction: Optional[str]
+    is_float: bool
+    d_flops: int
+    d_int_ops: int
+    d_loads: int
+    d_stores: int
+
+
 CallHandler = Callable[[str, list[object], "Interpreter"], None]
 
 
@@ -157,6 +279,11 @@ class Interpreter:
         self.scalars: dict[str, int | float] = {}
         self.arrays: dict[str, np.ndarray] = {}
         self.trace = ExecutionTrace()
+        # Per-statement compilation caches (statement identity is stable for
+        # the lifetime of the program object).
+        self._assign_plans: dict[int, _CompiledAssign] = {}
+        self._loop_bounds: dict[int, tuple[Callable, Callable]] = {}
+        self._cond_fns: dict[int, Callable] = {}
 
     # ------------------------------------------------------------------
     # Setup and entry point
@@ -221,64 +348,100 @@ class Interpreter:
             self._exec_call(stmt)
         elif isinstance(stmt, IfStmt):
             self.trace.branches += 1
-            cond = evaluate_expr(stmt.cond, self.scalars, self.arrays)
-            if cond:
+            cond_fn = self._cond_fns.get(id(stmt))
+            if cond_fn is None:
+                cond_fn = compile_expr(stmt.cond)
+                self._cond_fns[id(stmt)] = cond_fn
+            if cond_fn(self.scalars, self.arrays):
                 self._exec_block(stmt.then_body)
             elif stmt.else_body is not None:
                 self._exec_block(stmt.else_body)
         else:
             raise InterpreterError(f"cannot execute statement {stmt!r}")
 
-    def _exec_loop(self, loop: Loop) -> None:
-        lower = int(evaluate_expr(loop.lower, self.scalars, self.arrays))
-        upper = int(evaluate_expr(loop.upper, self.scalars, self.arrays))
-        saved = self.scalars.get(loop.var)
-        for value in range(lower, upper, loop.step):
-            self.scalars[loop.var] = value
-            self.trace.loop_iterations += 1
-            self.trace.branches += 1
-            self.trace.int_ops += 1  # induction-variable increment
-            self._exec_block(loop.body)
-        if saved is None:
-            self.scalars.pop(loop.var, None)
-        else:
-            self.scalars[loop.var] = saved
+    def _loop_bound_fns(self, loop: Loop) -> tuple[Callable, Callable]:
+        fns = self._loop_bounds.get(id(loop))
+        if fns is None:
+            fns = (compile_expr(loop.lower), compile_expr(loop.upper))
+            self._loop_bounds[id(loop)] = fns
+        return fns
 
-    def _exec_assign(self, stmt: Assign) -> None:
-        self.trace.statements_executed += 1
+    def _exec_loop(self, loop: Loop) -> None:
+        lower_fn, upper_fn = self._loop_bound_fns(loop)
+        lower = int(lower_fn(self.scalars, self.arrays))
+        upper = int(upper_fn(self.scalars, self.arrays))
+        saved = self.scalars.get(loop.var)
+        scalars = self.scalars
+        trace = self.trace
+        var = loop.var
+        body = loop.body.stmts
+        for value in range(lower, upper, loop.step):
+            scalars[var] = value
+            trace.loop_iterations += 1
+            trace.branches += 1
+            trace.int_ops += 1  # induction-variable increment
+            for stmt in body:
+                self._exec_stmt(stmt)
+        if saved is None:
+            scalars.pop(var, None)
+        else:
+            scalars[var] = saved
+
+    def _assign_plan(self, stmt: Assign) -> _CompiledAssign:
+        plan = self._assign_plans.get(id(stmt))
+        if plan is not None:
+            return plan
         target = stmt.target
         is_float = True
+        target_name: Optional[str] = None
+        index_fns: tuple = ()
         if isinstance(target, ArrayRef):
             decl = self.program.array(target.name)
             is_float = decl.elem_type.is_float
-        value = evaluate_expr(stmt.rhs, self.scalars, self.arrays)
-        _count_expr_ops(stmt.rhs, self.trace, is_float)
-        if isinstance(target, ArrayRef):
-            idx = tuple(
-                int(evaluate_expr(i, self.scalars, self.arrays)) for i in target.indices
-            )
-            self.trace.stores += 1
-            self.trace.int_ops += max(0, len(idx) - 1) * 2
-            if stmt.reduction == "+":
-                self.trace.loads += 1
-                self.trace.flops += 1 if is_float else 0
-                self.trace.int_ops += 0 if is_float else 1
-                self.arrays[target.name][idx] += value
-            elif stmt.reduction == "*":
-                self.trace.loads += 1
-                self.trace.flops += 1 if is_float else 0
-                self.arrays[target.name][idx] *= value
+            target_name = target.name
+            index_fns = tuple(compile_expr(i) for i in target.indices)
+        d_flops, d_int_ops, d_loads, d_stores = assign_trace_cost(stmt, is_float)
+        plan = _CompiledAssign(
+            rhs_fn=compile_expr(stmt.rhs),
+            target_name=target_name,
+            index_fns=index_fns,
+            reduction=stmt.reduction,
+            is_float=is_float,
+            d_flops=d_flops,
+            d_int_ops=d_int_ops,
+            d_loads=d_loads,
+            d_stores=d_stores,
+        )
+        self._assign_plans[id(stmt)] = plan
+        return plan
+
+    def _exec_assign(self, stmt: Assign) -> None:
+        plan = self._assign_plan(stmt)
+        trace = self.trace
+        scalars = self.scalars
+        arrays = self.arrays
+        trace.statements_executed += 1
+        trace.flops += plan.d_flops
+        trace.int_ops += plan.d_int_ops
+        trace.loads += plan.d_loads
+        trace.stores += plan.d_stores
+        value = plan.rhs_fn(scalars, arrays)
+        if plan.target_name is not None:
+            idx = tuple(int(fn(scalars, arrays)) for fn in plan.index_fns)
+            if plan.reduction == "+":
+                arrays[plan.target_name][idx] += value
+            elif plan.reduction == "*":
+                arrays[plan.target_name][idx] *= value
             else:
-                self.arrays[target.name][idx] = value
+                arrays[plan.target_name][idx] = value
         else:  # scalar variable
-            if stmt.reduction == "+":
-                self.scalars[target.name] = self.scalars.get(target.name, 0) + value
-                self.trace.flops += 1
-            elif stmt.reduction == "*":
-                self.scalars[target.name] = self.scalars.get(target.name, 1) * value
-                self.trace.flops += 1
+            name = stmt.target.name
+            if plan.reduction == "+":
+                scalars[name] = scalars.get(name, 0) + value
+            elif plan.reduction == "*":
+                scalars[name] = scalars.get(name, 1) * value
             else:
-                self.scalars[target.name] = value
+                scalars[name] = value
 
     def _exec_call(self, stmt: CallStmt) -> None:
         self.trace.statements_executed += 1

@@ -22,6 +22,12 @@ class SystemConfig:
     cma_bytes: int = 48 * 1024 * 1024
     crossbar_mode: str = "ideal"
     double_buffering: bool = True
+    #: Dispatch the GEMVs streaming against one programmed tile as a single
+    #: batched tile operation (simulation speed only; accounting identical).
+    batch_gemv: bool = True
+    #: Keep a programmed operand resident in the crossbar across separate
+    #: GEMV invocations against the same matrix (no re-programming wear).
+    reuse_resident_gemv: bool = True
     energy: SystemEnergyModel = field(default_factory=lambda: TABLE_I)
 
     @property

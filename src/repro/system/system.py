@@ -60,6 +60,8 @@ class CimSystem:
             energy_model=self.config.cim,
             crossbar_config=self.config.crossbar_config(),
             double_buffering=self.config.double_buffering,
+            batch_gemv=self.config.batch_gemv,
+            reuse_resident_gemv=self.config.reuse_resident_gemv,
         )
         self.pmio_window = self.bus.attach_accelerator(self.accelerator)
         self.host_cpu = HostCPU(self.config.host)

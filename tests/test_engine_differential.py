@@ -1,0 +1,151 @@
+"""Differential tests: vectorized engine vs. reference interpreter.
+
+Every PolyBench kernel is executed under both execution engines — through
+the full compile + offload + emulated-system path and through the host-only
+path — and in both crossbar modes.  The engines must agree *bit for bit* on
+every output array and produce identical execution traces and therefore
+identical energy/latency/instruction reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CompileOptions, OffloadExecutor, compile_source
+from repro.ir import Interpreter, VectorizedEngine
+from repro.ir.interp import ExecutionTrace
+from repro.system import CimSystem, SystemConfig
+from repro.workloads.polybench import KERNELS
+
+DATASET = "MINI"
+
+
+def _reports_equal(a, b) -> list[str]:
+    """Field-by-field comparison of two ExecutionReports; returns diffs."""
+    diffs = []
+    scalar_fields = (
+        "offload_instructions",
+        "offload_energy_j",
+        "offload_time_s",
+        "accelerator_energy_j",
+        "accelerator_time_s",
+        "gemv_count",
+        "crossbar_cell_writes",
+        "crossbar_write_ops",
+        "accelerator_macs",
+        "dma_bytes",
+    )
+    for name in scalar_fields:
+        if getattr(a, name) != getattr(b, name):
+            diffs.append(f"{name}: {getattr(a, name)} != {getattr(b, name)}")
+    host_fields = (
+        "instructions",
+        "flops",
+        "loads",
+        "stores",
+        "int_ops",
+        "branches",
+        "time_s",
+        "energy_j",
+    )
+    for name in host_fields:
+        if getattr(a.host_estimate, name) != getattr(b.host_estimate, name):
+            diffs.append(
+                f"host.{name}: {getattr(a.host_estimate, name)} != "
+                f"{getattr(b.host_estimate, name)}"
+            )
+    if a.runtime_calls != b.runtime_calls:
+        diffs.append("runtime_calls differ")
+    if a.accelerator_energy_breakdown != b.accelerator_energy_breakdown:
+        diffs.append("energy breakdown differs")
+    return diffs
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+@pytest.mark.parametrize("crossbar_mode", ["ideal", "quantized"])
+def test_offloaded_execution_is_engine_invariant(kernel_name, crossbar_mode):
+    kernel = KERNELS[kernel_name]
+    result = compile_source(kernel.source)
+    params = kernel.params(DATASET)
+    arrays = kernel.arrays(DATASET, seed=11)
+
+    outputs = {}
+    reports = {}
+    for engine in ("interpreter", "vectorized"):
+        system = CimSystem(SystemConfig(crossbar_mode=crossbar_mode))
+        executor = OffloadExecutor(system, engine=engine)
+        outputs[engine], reports[engine] = executor.run(result.program, params, arrays)
+
+    for name in outputs["interpreter"]:
+        np.testing.assert_array_equal(
+            outputs["interpreter"][name],
+            outputs["vectorized"][name],
+            err_msg=f"{kernel_name}/{crossbar_mode}: array {name!r} not bit-identical",
+        )
+    diffs = _reports_equal(reports["interpreter"], reports["vectorized"])
+    assert not diffs, f"{kernel_name}/{crossbar_mode}: report mismatch: {diffs}"
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_host_only_execution_is_engine_invariant(kernel_name):
+    """With offloading disabled the engines execute the loop nests
+    themselves — the strongest test of the vectorized lowering."""
+    kernel = KERNELS[kernel_name]
+    result = compile_source(kernel.source, options=CompileOptions.host_only())
+    params = kernel.params(DATASET)
+    arrays = kernel.arrays(DATASET, seed=23)
+
+    outputs = {}
+    reports = {}
+    for engine in ("interpreter", "vectorized"):
+        executor = OffloadExecutor(engine=engine)
+        outputs[engine], reports[engine] = executor.run(result.program, params, arrays)
+
+    for name in outputs["interpreter"]:
+        np.testing.assert_array_equal(
+            outputs["interpreter"][name],
+            outputs["vectorized"][name],
+            err_msg=f"{kernel_name}: array {name!r} not bit-identical",
+        )
+    diffs = _reports_equal(reports["interpreter"], reports["vectorized"])
+    assert not diffs, f"{kernel_name}: report mismatch: {diffs}"
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNELS))
+def test_raw_program_traces_match(kernel_name):
+    """Un-compiled source programs: identical traces, identical arrays."""
+    from repro.frontend import parse_program
+
+    kernel = KERNELS[kernel_name]
+    program = parse_program(kernel.source)
+    params = kernel.params(DATASET)
+    arrays = kernel.arrays(DATASET, seed=5)
+
+    interp = Interpreter(program)
+    out_i = interp.run(params, arrays)
+    engine = VectorizedEngine(program)
+    out_v = engine.run(params, arrays)
+
+    for name in out_i:
+        np.testing.assert_array_equal(out_i[name], out_v[name])
+    assert interp.trace == engine.trace
+    assert isinstance(engine.trace, ExecutionTrace)
+
+
+@pytest.mark.parametrize("kernel_name", ["gemm", "2mm", "3mm", "mvt"])
+def test_fast_engine_is_numerically_close(kernel_name):
+    """The einsum mode reassociates sums: approximately equal, not exact."""
+    kernel = KERNELS[kernel_name]
+    result = compile_source(kernel.source, options=CompileOptions.host_only())
+    params = kernel.params("SMALL")
+    arrays = kernel.arrays("SMALL", seed=3)
+
+    ref, ref_report = OffloadExecutor(engine="interpreter").run(
+        result.program, params, arrays
+    )
+    fast, fast_report = OffloadExecutor(engine="vectorized-fast").run(
+        result.program, params, arrays
+    )
+    for name in kernel.output_arrays:
+        np.testing.assert_allclose(fast[name], ref[name], rtol=1e-4)
+    # Trace-derived reports stay exact even in fast mode.
+    assert not _reports_equal(ref_report, fast_report)
