@@ -1,0 +1,161 @@
+"""Multi-tile scaling + compile-cache benchmark (PR 2 trajectory point).
+
+Two measurements, written to ``BENCH_PR2.json``:
+
+1. **Tile scaling** — every paper kernel offloaded with ``num_tiles`` in
+   {1, 2, 4, 8}.  The crossbar geometry is shrunk (so the MEDIUM operands
+   decompose into many shard blocks) and the reported accelerator latency
+   must decrease monotonically with the tile count while the aggregate
+   energy stays bit-identical (the scheduler's accounting invariant).
+2. **Compile cache** — cold vs. warm ``compile_source()`` wall time per
+   kernel; the warm path must be at least 5x faster.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_multitile_scaling.py           # full
+    PYTHONPATH=src python benchmarks/bench_multitile_scaling.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro import CimSystem, OffloadExecutor, SystemConfig, compile_source
+from repro.compiler import CompileOptions, KernelCompileCache, compile_fingerprint
+from repro.workloads import PAPER_KERNELS, get_kernel
+
+TILE_COUNTS = (1, 2, 4, 8)
+
+#: (dataset, crossbar geometry) — the crossbar is shrunk so every paper
+#: kernel decomposes into enough shard blocks to feed 8 tiles.
+FULL_SETUP = ("MEDIUM", 64)
+SMOKE_SETUP = ("SMALL", 16)
+
+
+def bench_tile_scaling(dataset: str, crossbar: int) -> list[dict]:
+    results = []
+    for name in PAPER_KERNELS:
+        kernel = get_kernel(name)
+        params = kernel.params(dataset)
+        arrays = kernel.arrays(dataset, seed=11)
+        compiled = compile_source(kernel.source, size_hint=params)
+        latencies: dict[str, float] = {}
+        energies: dict[str, float] = {}
+        for tiles in TILE_COUNTS:
+            system = CimSystem(SystemConfig(
+                num_tiles=tiles, crossbar_rows=crossbar, crossbar_cols=crossbar,
+            ))
+            _, report = OffloadExecutor(system).run(compiled, params, arrays)
+            latencies[str(tiles)] = report.accelerator_time_s
+            energies[str(tiles)] = report.accelerator_energy_j
+        ordered = [latencies[str(t)] for t in TILE_COUNTS]
+        entry = {
+            "kernel": name,
+            "category": kernel.category,
+            "dataset": dataset,
+            "crossbar": crossbar,
+            "latency_s": latencies,
+            "speedup_at_4_tiles": round(ordered[0] / latencies["4"], 3),
+            "energy_invariant": len(set(energies.values())) == 1,
+            "monotonic": all(a >= b for a, b in zip(ordered, ordered[1:])),
+        }
+        results.append(entry)
+        print(
+            f"{name:8s} latency(tiles) "
+            + "  ".join(f"{t}:{latencies[str(t)] * 1e3:8.3f}ms" for t in TILE_COUNTS)
+            + f"  x4={entry['speedup_at_4_tiles']:5.2f}"
+            + f"  energy-invariant={entry['energy_invariant']}"
+        )
+    return results
+
+
+def bench_compile_cache(dataset: str) -> list[dict]:
+    results = []
+    for name in PAPER_KERNELS:
+        kernel = get_kernel(name)
+        params = kernel.params(dataset)
+        # A private cache keeps this measurement independent of any compile
+        # the scaling benchmark already did through the default cache.
+        cache = KernelCompileCache()
+        options = CompileOptions()
+        start = time.perf_counter()
+        cold_result = compile_source(
+            kernel.source, options=options, size_hint=params, cache=cache
+        )
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_result = compile_source(
+            kernel.source, options=options, size_hint=params, cache=cache
+        )
+        warm_s = time.perf_counter() - start
+        speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+        results.append(
+            {
+                "kernel": name,
+                "fingerprint": compile_fingerprint(kernel.source, options, params)[:16],
+                "cold_s": round(cold_s, 6),
+                "warm_s": round(warm_s, 6),
+                "speedup": round(speedup, 1),
+                "identical_result": warm_result is cold_result,
+            }
+        )
+        print(
+            f"{name:8s} compile cold={cold_s * 1e3:8.3f}ms  "
+            f"warm={warm_s * 1e3:8.3f}ms  speedup={speedup:9.1f}x"
+        )
+    return results
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    dataset, crossbar = SMOKE_SETUP if smoke else FULL_SETUP
+    scaling = bench_tile_scaling(dataset, crossbar)
+    cache = bench_compile_cache(dataset)
+    return {
+        "benchmark": "multitile_scaling",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "tile_counts": list(TILE_COUNTS),
+        "tile_scaling": scaling,
+        "compile_cache": cache,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR2.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    for entry in payload["tile_scaling"]:
+        if not entry["energy_invariant"]:
+            failures.append(f"{entry['kernel']}: energy depends on tile count")
+        if not entry["monotonic"]:
+            failures.append(f"{entry['kernel']}: latency not monotone in tiles")
+        if entry["latency_s"]["4"] >= entry["latency_s"]["1"]:
+            failures.append(f"{entry['kernel']}: no speedup at 4 tiles")
+    for entry in payload["compile_cache"]:
+        if entry["speedup"] < 5:
+            failures.append(
+                f"{entry['kernel']}: warm-cache compile only {entry['speedup']}x"
+            )
+    assert not failures, "; ".join(failures)
+    print("all scaling/cache acceptance checks passed")
+
+
+if __name__ == "__main__":
+    main()

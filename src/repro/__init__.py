@@ -30,7 +30,7 @@ from repro.codegen import OffloadExecutor, ExecutionReport
 from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
 from repro.system import CimSystem, SystemConfig
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CompileOptions",

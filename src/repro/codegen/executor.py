@@ -113,6 +113,12 @@ class OffloadExecutor:
     :meth:`run`, then an ``engine`` given to this constructor, then the
     :class:`~repro.compiler.options.CompileOptions` of a
     ``CompilationResult`` passed to :meth:`run`, then ``"vectorized"``.
+
+    ``num_tiles`` is a convenience for multi-tile offload: without an
+    explicit ``system`` it builds a
+    :class:`~repro.system.config.SystemConfig` with that tile count (see
+    :mod:`repro.hw.scheduler`); with one, it must agree with the system's
+    configuration.
     """
 
     def __init__(
@@ -120,10 +126,26 @@ class OffloadExecutor:
         system: Optional[CimSystem] = None,
         host_cost_model: Optional[HostCostModel] = None,
         engine: Optional[str] = None,
+        num_tiles: Optional[int] = None,
     ):
         if engine is not None:
             validate_engine(engine)
-        self.system = system or CimSystem()
+        if system is None:
+            from repro.system.config import SystemConfig
+
+            # num_tiles=0 must reach AcceleratorConfig's validation and
+            # raise, not silently fall back to the 1-tile default.
+            config = (
+                SystemConfig(num_tiles=num_tiles) if num_tiles is not None else None
+            )
+            system = CimSystem(config)
+        elif num_tiles is not None and system.config.num_tiles != num_tiles:
+            raise ValueError(
+                f"num_tiles={num_tiles} conflicts with the given system's "
+                f"config (num_tiles={system.config.num_tiles}); configure "
+                "SystemConfig.num_tiles instead"
+            )
+        self.system = system
         self.host_cost_model = host_cost_model or HostCostModel(self.system.config.host)
         #: Explicit engine choice; ``None`` defers to the compiled options.
         self.engine = engine

@@ -4,6 +4,13 @@ Polly regenerates LLVM-IR for each transformed SCoP and splices it back into
 the surrounding function; here the regenerated top-level statements of every
 SCoP replace the original loop nests in the program body, and a prologue
 (``polly_cimInit``) is prepended when anything was offloaded.
+
+The emitted runtime calls are deliberately *tile-agnostic*: a compiled
+program names kernels and operands (``polly_cimBlasSGemm(...)``), never
+tile placements, so the same artifact — including one served from the
+kernel-compile cache (:mod:`repro.compiler.cache`) — runs unchanged on any
+``num_tiles`` configuration.  Sharding and pipelining happen below the
+runtime ABI, in the micro-engine's scheduler (:mod:`repro.hw.scheduler`).
 """
 
 from __future__ import annotations

@@ -6,10 +6,22 @@ matching → kernel fusion → (optional) crossbar-aware tiling → device mappi
 → AST regeneration → program reassembly.  The output is a compiled program
 whose offloaded kernels have been replaced by CIM runtime calls, plus a
 report describing every decision the compiler made.
+
+Because the pipeline is pure, repeated invocations are memoised by the
+content-addressed :class:`~repro.compiler.cache.KernelCompileCache`
+(:mod:`repro.compiler.cache`): an in-memory LRU keyed by a hash of the
+source, the :class:`CompileOptions` and the size hint, with optional
+on-disk persistence for cross-process workload sweeps.
 """
 
 from repro.compiler.options import CompileOptions
 from repro.compiler.report import CompilationReport, KernelDecision
+from repro.compiler.cache import (
+    KernelCompileCache,
+    clear_compile_cache,
+    compile_fingerprint,
+    get_default_cache,
+)
 from repro.compiler.driver import TdoCimCompiler, CompilationResult, compile_source
 
 __all__ = [
@@ -19,4 +31,8 @@ __all__ = [
     "TdoCimCompiler",
     "CompilationResult",
     "compile_source",
+    "KernelCompileCache",
+    "compile_fingerprint",
+    "get_default_cache",
+    "clear_compile_cache",
 ]

@@ -1,0 +1,185 @@
+"""Content-addressed kernel-compile cache.
+
+Workload sweeps and serving loops compile the same mini-C kernels over and
+over; the poly + tactics + transforms pipeline is pure (same source, same
+options, same size hint → same result), so its output can be memoised.
+:func:`compile_fingerprint` hashes the source (or the printed IR program),
+the :class:`~repro.compiler.options.CompileOptions`, the size hint and the
+package version (so a persisted entry from an older compiler pipeline is
+never served by a newer one) into a stable content address; :class:`KernelCompileCache` maps those addresses
+to :class:`~repro.compiler.driver.CompilationResult` objects with an
+in-memory LRU, optionally persisted to disk so separate processes (e.g.
+benchmark sweeps) share warm compiles.
+
+Cache-control fields of ``CompileOptions`` (``enable_compile_cache``,
+``compile_cache_dir``) are excluded from the fingerprint because they do
+not affect the compiled artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import fields
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+#: CompileOptions fields that steer caching itself, not the compiled output.
+_CACHE_CONTROL_FIELDS = frozenset({"enable_compile_cache", "compile_cache_dir"})
+
+
+def compile_fingerprint(
+    source,
+    options,
+    size_hint: Optional[Mapping[str, Union[int, float]]] = None,
+) -> str:
+    """Stable content address of one compiler invocation.
+
+    ``source`` may be mini-C text or an IR :class:`~repro.ir.program.Program`
+    (hashed via its printed form, so later mutation of a program object
+    yields a different key).
+    """
+    from repro import __version__
+
+    if not isinstance(source, str):
+        from repro.ir.printer import to_source
+
+        source = to_source(source)
+    option_items = tuple(
+        (f.name, repr(getattr(options, f.name)))
+        for f in fields(options)
+        if f.name not in _CACHE_CONTROL_FIELDS
+    )
+    hint_items = tuple(
+        sorted((str(k), float(v)) for k, v in (size_hint or {}).items())
+    )
+    # The package version salts the key so persisted entries from an older
+    # compiler pipeline are never served by a newer one.
+    payload = repr((__version__, source, option_items, hint_items)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+class KernelCompileCache:
+    """LRU cache of compilation results, keyed by content fingerprint.
+
+    ``capacity`` bounds the in-memory entries (least-recently-used entries
+    are evicted first).  With ``disk_dir`` set, every stored result is also
+    pickled to ``<disk_dir>/<key>.pkl`` and in-memory misses fall back to
+    disk; disk I/O failures (unpicklable results, read-only filesystems,
+    corrupt files) silently degrade to a miss, never an error.
+    """
+
+    def __init__(self, capacity: int = 128, disk_dir: Optional[Union[str, Path]] = None):
+        if capacity < 1:
+            raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._entries:
+            return True
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
+    def get(self, key: str):
+        """Return the cached result for *key*, or ``None`` on a miss."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        result = self._disk_load(key)
+        if result is not None:
+            self._insert(key, result)
+            self.hits += 1
+            return result
+        self.misses += 1
+        return None
+
+    def put(self, key: str, result) -> None:
+        """Store *result* under *key* (in memory, and on disk if enabled)."""
+        self._insert(key, result)
+        self._disk_store(key, result)
+
+    def clear(self) -> None:
+        """Drop the in-memory entries and hit/miss statistics (disk files,
+        if any, are kept — they are content-addressed and never stale)."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: str, result) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.disk_dir is None:
+            return None
+        return self.disk_dir / f"{key}.pkl"
+
+    def _disk_store(self, key: str, result) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        tmp_name = None
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # A unique temp file per writer: concurrent processes storing
+            # the same key must each install a complete pickle atomically,
+            # never interleave into one shared temp file.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+            tmp_name = None
+        except Exception:
+            # Persistence is best-effort: an unpicklable result or an
+            # unwritable directory must not fail the compile.
+            if tmp_name is not None:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+            return
+
+    def _disk_load(self, key: str):
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            return None
+
+    def __repr__(self) -> str:
+        return (
+            f"KernelCompileCache(entries={len(self._entries)}/{self.capacity}, "
+            f"hits={self.hits}, misses={self.misses}, disk={self.disk_dir})"
+        )
+
+
+#: Process-wide default cache used by :class:`TdoCimCompiler` when caching
+#: is enabled and no explicit cache instance is given.
+_default_cache = KernelCompileCache()
+
+
+def get_default_cache() -> KernelCompileCache:
+    return _default_cache
+
+
+def clear_compile_cache() -> None:
+    """Empty the process-wide default compile cache."""
+    _default_cache.clear()

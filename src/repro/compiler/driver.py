@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Sequence, Union
 
 from repro.codegen.lowering import reassemble_program
+from repro.compiler.cache import (
+    KernelCompileCache,
+    compile_fingerprint,
+    get_default_cache,
+)
 from repro.compiler.options import CompileOptions
 from repro.compiler.report import CompilationReport, KernelDecision
 from repro.frontend.parser import parse_program
@@ -47,8 +52,22 @@ class CompilationResult:
 class TdoCimCompiler:
     """Transparent detection and offloading for computation in-memory."""
 
-    def __init__(self, options: Optional[CompileOptions] = None):
+    def __init__(
+        self,
+        options: Optional[CompileOptions] = None,
+        cache: Optional[KernelCompileCache] = None,
+    ):
         self.options = options or CompileOptions()
+        if cache is not None:
+            self.cache: Optional[KernelCompileCache] = cache
+        elif not self.options.enable_compile_cache:
+            self.cache = None
+        elif self.options.compile_cache_dir is not None:
+            self.cache = KernelCompileCache(
+                disk_dir=self.options.compile_cache_dir
+            )
+        else:
+            self.cache = get_default_cache()
 
     # ------------------------------------------------------------------
     def compile(
@@ -61,7 +80,29 @@ class TdoCimCompiler:
         ``size_hint`` optionally provides concrete problem sizes so the
         selective-offloading heuristic can estimate compute intensity; it
         does not specialise the generated code.
+
+        With ``options.enable_compile_cache`` (the default) the result is
+        memoised by content fingerprint — see :mod:`repro.compiler.cache`.
         """
+        key: Optional[str] = None
+        if self.cache is not None:
+            key = compile_fingerprint(source, self.options, size_hint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return cached
+        result = self._compile_uncached(source, size_hint)
+        if key is not None:
+            # Snapshot the options so a caller mutating theirs after the
+            # fact cannot change the cached artifact under its old key.
+            result.options = replace(self.options)
+            self.cache.put(key, result)
+        return result
+
+    def _compile_uncached(
+        self,
+        source: Union[str, Program],
+        size_hint: Optional[Mapping[str, int | float]] = None,
+    ) -> CompilationResult:
         program = parse_program(source) if isinstance(source, str) else source
         program = normalize_reductions(program)
         options = self.options
@@ -270,6 +311,18 @@ def compile_source(
     source: Union[str, Program],
     options: Optional[CompileOptions] = None,
     size_hint: Optional[Mapping[str, int | float]] = None,
+    cache: Optional[KernelCompileCache] = None,
 ) -> CompilationResult:
-    """Convenience wrapper: ``TdoCimCompiler(options).compile(source)``."""
-    return TdoCimCompiler(options).compile(source, size_hint=size_hint)
+    """Convenience wrapper: ``TdoCimCompiler(options).compile(source)``.
+
+    ``cache`` overrides the compile cache instance and wins over
+    ``options.enable_compile_cache`` (the process-wide default cache is
+    used otherwise; pass ``options`` with ``enable_compile_cache=False``
+    and no explicit ``cache`` to bypass caching entirely).
+
+    Standard memoisation contract: a cache hit returns the *same*
+    :class:`CompilationResult` object as the original compile — do not
+    mutate it (or its program/report) in place; recompile with caching
+    disabled if you need a private copy to modify.
+    """
+    return TdoCimCompiler(options, cache=cache).compile(source, size_hint=size_hint)

@@ -39,6 +39,16 @@ class CompileOptions:
     #: disables the heuristic (the paper's default behaviour); the paper's
     #: "Selective Geomean" corresponds to a threshold of a few tens.
     min_macs_per_write: float | None = None
+    #: Content-addressed kernel-compile cache: repeated ``compile_source()``
+    #: calls with the same source, options and size hint return the cached
+    #: :class:`~repro.compiler.driver.CompilationResult` instead of re-running
+    #: the poly + tactics + transforms pipeline.  Cached results are shared
+    #: objects — treat them as immutable (every existing consumer does).
+    enable_compile_cache: bool = True
+    #: Directory for on-disk cache persistence (``None`` keeps the cache
+    #: in-memory only).  Entries are content-addressed pickles, so they are
+    #: never stale and can be shared across processes.
+    compile_cache_dir: str | None = None
     #: Execution engine for the host-side IR: ``"vectorized"`` (compiled
     #: NumPy kernels, bit-identical to the interpreter), ``"interpreter"``
     #: (the reference tree-walker), or ``"vectorized-fast"`` (einsum

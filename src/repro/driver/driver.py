@@ -173,6 +173,24 @@ class CimDriver:
             self.write_register(register, value)
         self.write_register(Register.COMMAND, int(Command.START))
 
+    def query_info(self) -> dict:
+        """CIM_QUERY ioctl: structural information about the device.
+
+        The runtime uses this to size shard-aware workloads without
+        hard-coding the accelerator build (tile count, crossbar geometry).
+        """
+        self._require_open()
+        self.overhead.charge_instructions(self.host_model.ioctl_instructions)
+        self.counters.add("driver.ioctl", 1)
+        self.counters.add("driver.query", 1)
+        tile = self.accelerator.tile
+        return {
+            "num_tiles": self.accelerator.num_tiles,
+            "crossbar_rows": tile.rows,
+            "crossbar_cols": tile.cols,
+            "cell_bits": tile.crossbar.config.cell_bits,
+        }
+
     def wait(self) -> Status:
         """Poll the status register until the accelerator leaves BUSY."""
         self._require_open()
@@ -224,4 +242,6 @@ class CimDriver:
         if command is IoctlCommand.CIM_RESET:
             self.accelerator.reset_stats()
             return None
+        if command is IoctlCommand.CIM_QUERY:
+            return self.query_info()
         raise DriverError(f"unknown ioctl command {command!r}")

@@ -20,3 +20,4 @@ class IoctlCommand(enum.IntEnum):
     CIM_WAIT = 0xC1A0_0006        # block until the accelerator is done
     CIM_FLUSH = 0xC1A0_0007       # flush host caches for a buffer range
     CIM_RESET = 0xC1A0_0008       # reset accelerator state
+    CIM_QUERY = 0xC1A0_0009       # query device info (tiles, crossbar geometry)

@@ -14,6 +14,9 @@ The accelerator is assembled exactly as Figure 2 of the paper describes:
 * :mod:`repro.hw.tile` — the CIM tile: crossbar + periphery.
 * :mod:`repro.hw.microengine` — decomposes GEMM into GEMV sequences, manages
   double buffering, drives the tile.
+* :mod:`repro.hw.scheduler` — multi-tile offload scheduler: shards operand
+  blocks across ``num_tiles`` tile lanes with an async double-buffered
+  DMA/compute pipeline (latency only; accounting is tile-count-invariant).
 * :mod:`repro.hw.dma` — shared-memory DMA engine.
 * :mod:`repro.hw.context_regs` — memory-mapped context/status registers.
 * :mod:`repro.hw.accelerator` — the standalone accelerator (tile +
@@ -34,7 +37,8 @@ from repro.hw.tile import CIMTile
 from repro.hw.dma import DMAEngine
 from repro.hw.context_regs import ContextRegisterFile, Register
 from repro.hw.microengine import MicroEngine
-from repro.hw.accelerator import CIMAccelerator
+from repro.hw.scheduler import ShardBlock, ShardWork, TileScheduler, plan_gemm_shards
+from repro.hw.accelerator import AcceleratorConfig, CIMAccelerator
 from repro.hw.endurance import EnduranceTracker, system_lifetime_years
 from repro.hw.timeline import Timeline, TimelineEvent
 
@@ -57,6 +61,11 @@ __all__ = [
     "ContextRegisterFile",
     "Register",
     "MicroEngine",
+    "ShardBlock",
+    "ShardWork",
+    "TileScheduler",
+    "plan_gemm_shards",
+    "AcceleratorConfig",
     "CIMAccelerator",
     "EnduranceTracker",
     "system_lifetime_years",

@@ -1,7 +1,8 @@
 """The standalone CIM accelerator (Figure 2 (a)/(b)).
 
-The accelerator bundles one CIM tile, the micro-engine, a DMA unit and the
-memory-mapped context register file.  The host (through the driver) writes
+The accelerator bundles the CIM tiles (``AcceleratorConfig.num_tiles``, one
+by default), the micro-engine, a DMA unit and the memory-mapped context
+register file.  The host (through the driver) writes
 kernel parameters into the context registers and writes ``START`` to the
 command register; the accelerator then decodes the request, lets the
 micro-engine execute it, and flips the status register to ``DONE``.
@@ -57,6 +58,27 @@ def unpack_batch_descriptor(raw: bytes) -> tuple[int, int, int, int, int, int, i
 
 
 @dataclass
+class AcceleratorConfig:
+    """Structural configuration of the accelerator.
+
+    ``num_tiles`` selects how many CIM tiles the timing model schedules
+    kernels over (1 reproduces the seed's serial single-tile behaviour);
+    the remaining flags control the micro-engine's dispatch strategy.
+    Functional results and energy/endurance accounting do not depend on
+    ``num_tiles`` (see :mod:`repro.hw.scheduler`).
+    """
+
+    num_tiles: int = 1
+    double_buffering: bool = True
+    batch_gemv: bool = True
+    reuse_resident_gemv: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_tiles < 1:
+            raise ValueError(f"num_tiles must be >= 1, got {self.num_tiles}")
+
+
+@dataclass
 class AcceleratorRunStats:
     """Per-invocation accounting reported back to the runtime library."""
 
@@ -78,10 +100,31 @@ class CIMAccelerator:
         memory,
         energy_model: Optional[CimEnergyModel] = None,
         crossbar_config: Optional[CrossbarConfig] = None,
-        double_buffering: bool = True,
-        batch_gemv: bool = True,
-        reuse_resident_gemv: bool = True,
+        double_buffering: Optional[bool] = None,
+        batch_gemv: Optional[bool] = None,
+        reuse_resident_gemv: Optional[bool] = None,
+        config: Optional[AcceleratorConfig] = None,
     ):
+        # The individual flags are the seed API; AcceleratorConfig is the
+        # structured one.  Mixing them would silently drop the flags, so
+        # that is rejected instead.
+        flags = (double_buffering, batch_gemv, reuse_resident_gemv)
+        if config is not None:
+            if any(flag is not None for flag in flags):
+                raise ValueError(
+                    "pass either an AcceleratorConfig or the individual "
+                    "dispatch flags, not both"
+                )
+            self.config = config
+        else:
+            self.config = AcceleratorConfig(
+                num_tiles=1,
+                double_buffering=double_buffering if double_buffering is not None else True,
+                batch_gemv=batch_gemv if batch_gemv is not None else True,
+                reuse_resident_gemv=(
+                    reuse_resident_gemv if reuse_resident_gemv is not None else True
+                ),
+            )
         self.energy_model = energy_model or CimEnergyModel()
         self.energy = EnergyLedger()
         self.counters = StatCounter()
@@ -94,9 +137,10 @@ class CIMAccelerator:
             energy=self.energy,
             counters=self.counters,
             timeline=self.timeline,
-            double_buffering=double_buffering,
-            batch_gemv=batch_gemv,
-            reuse_resident_gemv=reuse_resident_gemv,
+            double_buffering=self.config.double_buffering,
+            batch_gemv=self.config.batch_gemv,
+            reuse_resident_gemv=self.config.reuse_resident_gemv,
+            num_tiles=self.config.num_tiles,
         )
         self.registers = ContextRegisterFile(on_start=self._on_start)
         self.completed_runs: list[AcceleratorRunStats] = []
@@ -253,6 +297,10 @@ class CIMAccelerator:
     # ------------------------------------------------------------------
     # Aggregate statistics
     # ------------------------------------------------------------------
+    @property
+    def num_tiles(self) -> int:
+        return self.config.num_tiles
+
     def total_energy_j(self) -> float:
         return sum(run.energy_j for run in self.completed_runs)
 

@@ -8,6 +8,12 @@ decomposes GEMM into a series of GEMVs, tiles operands that exceed the
 crossbar geometry, reuses an already-programmed operand across batched
 kernels that share it (the endurance-friendly "smart mapping"), and supports
 double buffering to hide DMA latency behind crossbar compute.
+
+With ``num_tiles > 1`` the operand blocks become shards handed to the
+:class:`~repro.hw.scheduler.TileScheduler`, which places them on parallel
+tile lanes with an async double-buffered DMA/compute pipeline; the
+functional execution and all energy/wear accounting are unchanged — only
+the reported latency (timeline makespan) shrinks.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import numpy as np
 
 from repro.hw.dma import DMAEngine
 from repro.hw.energy import CimEnergyModel
+from repro.hw.scheduler import ShardWork, TileScheduler, plan_gemm_shards
 from repro.hw.stats import EnergyLedger, StatCounter
 from repro.hw.tile import CIMTile
 from repro.hw.timeline import Timeline
@@ -107,13 +114,24 @@ class MicroEngine:
         double_buffering: bool = True,
         batch_gemv: bool = True,
         reuse_resident_gemv: bool = True,
+        num_tiles: int = 1,
     ):
         self.tile = tile
         self.dma = dma
         self.energy = energy
         self.counters = counters
-        self.timeline = timeline or Timeline()
+        # Note: `timeline or Timeline()` would be wrong — an empty Timeline
+        # is falsy (it has __len__), which would silently detach this engine
+        # from the accelerator's timeline.
+        self.timeline = timeline if timeline is not None else Timeline()
         self.double_buffering = double_buffering
+        #: Number of physical tiles the timing model schedules over.  One
+        #: tile reproduces the seed's serial clock exactly; more tiles shard
+        #: operand blocks across lanes (see :mod:`repro.hw.scheduler`).
+        #: Functional state and energy/wear accounting are tile-count-
+        #: invariant; only the timeline/latency changes.
+        self.num_tiles = num_tiles
+        self.scheduler = TileScheduler(num_tiles, double_buffering)
         #: Dispatch all GEMVs that stream against one programmed tile as a
         #: single batched tile operation (one matmul in ideal mode, one
         #: vectorized MSB/LSB pass in quantized mode).  Pure dispatch
@@ -193,82 +211,106 @@ class MicroEngine:
         allow_reuse = reuse_programmed or (
             self.reuse_resident_gemv and req.n == 1
         )
-        for i0 in range(0, req.m, cols):
-            i_size = min(cols, req.m - i0)
-            for k0 in range(0, req.k, rows):
-                k_size = min(rows, req.k - k0)
-                a_tile = a[i0 : i0 + i_size, k0 : k0 + k_size]
-                # --- program the A tile (transposed: rows = k, cols = i) ---
-                # The key carries the operand layout (transpose flag and
-                # leading dimension): A and A^T at the same address are
-                # different tiles.  The stored value copy guards against the
-                # host having rewritten the buffer since it was programmed.
-                tile_key = (req.addr_a, req.trans_a, req.lda, i0, k0, i_size, k_size)
-                already_programmed = (
-                    allow_reuse
-                    and self._programmed_operand == tile_key
-                    and self._programmed_values is not None
-                    and self._programmed_values.shape == a_tile.shape
-                    and np.array_equal(self._programmed_values, a_tile)
-                )
-                if not already_programmed:
-                    tile_bytes = i_size * k_size * elem
-                    self._dma_in(req.addr_a, tile_bytes, result)
-                    cost = self.tile.write_matrix(np.ascontiguousarray(a_tile.T))
-                    self._advance("crossbar", "write_crossbar", cost.latency_s)
-                    result.crossbar_writes += i_size * k_size
-                    result.crossbar_write_ops += 1
-                    self._programmed_operand = tile_key
-                    self._programmed_values = a_tile.copy()
+        # Multi-tile mode: collect the timing phases of each operand block
+        # and let the scheduler place them on tile lanes afterwards.  The
+        # functional execution and every energy/counter charge below stay
+        # exactly as in the serial (single-tile) path.
+        sharded = self.num_tiles > 1
+        shard_work: list[ShardWork] = []
+        for block in plan_gemm_shards(req.m, req.k, cols, rows):
+            i0, i_size, k0, k_size = block.i0, block.i_size, block.k0, block.k_size
+            shard = (
+                ShardWork(label=f"A[{i0}:{i0 + i_size},{k0}:{k0 + k_size}]")
+                if sharded else None
+            )
+            a_tile = a[i0 : i0 + i_size, k0 : k0 + k_size]
+            # --- program the A tile (transposed: rows = k, cols = i) ---
+            # The key carries the operand layout (transpose flag and
+            # leading dimension): A and A^T at the same address are
+            # different tiles.  The stored value copy guards against the
+            # host having rewritten the buffer since it was programmed.
+            tile_key = (req.addr_a, req.trans_a, req.lda, i0, k0, i_size, k_size)
+            already_programmed = (
+                allow_reuse
+                and self._programmed_operand == tile_key
+                and self._programmed_values is not None
+                and self._programmed_values.shape == a_tile.shape
+                and np.array_equal(self._programmed_values, a_tile)
+            )
+            if not already_programmed:
+                tile_bytes = i_size * k_size * elem
+                if sharded:
+                    shard.dma_in_s = self._dma_in(
+                        req.addr_a, tile_bytes, result, overlappable=True
+                    )
                 else:
-                    self.counters.add("cim.crossbar_write_reuse", 1)
-                # --- stream the columns of B through the tile -------------
-                in_bytes = k_size * elem
-                if self.batch_gemv and req.n > 1:
-                    # Batched dispatch: all N column vectors against the
-                    # programmed tile in one tile operation.  Per-GEMV
-                    # energy/latency/DMA accounting is applied n-fold, so
-                    # the reports are identical to the sequential loop.
-                    x_block = np.ascontiguousarray(b[k0 : k0 + k_size, :].T)
-                    dma_time = self._dma_in(req.addr_b, in_bytes, result,
-                                            overlappable=True, repeat=req.n)
-                    partial, cost = self.tile.gemv_batch(
-                        x_block, rows_active=k_size, cols_active=i_size
-                    )
-                    gemv_time = cost.latency_s / req.n
-                    if self.double_buffering:
-                        step = req.n * max(gemv_time, dma_time)
-                    else:
-                        step = req.n * (gemv_time + dma_time)
-                    self._advance("crossbar", "compute", step)
-                    self.energy.add(
-                        "cim.dma_microengine",
-                        req.n * self.energy_model.dma_microengine_energy_per_gemv_j,
-                    )
-                    result.gemv_count += req.n
-                    result.macs += req.n * i_size * k_size
-                    c_out[i0 : i0 + i_size, :] += partial.T
-                    continue
-                for j in range(req.n):
-                    x = b[k0 : k0 + k_size, j]
-                    dma_time = self._dma_in(req.addr_b, in_bytes, result,
-                                            overlappable=True)
-                    partial, cost = self.tile.gemv(
-                        x, rows_active=k_size, cols_active=i_size
-                    )
-                    gemv_time = cost.latency_s
-                    if self.double_buffering:
-                        step = max(gemv_time, dma_time)
-                    else:
-                        step = gemv_time + dma_time
-                    self._advance("crossbar", "compute", step)
-                    self.energy.add(
-                        "cim.dma_microengine",
-                        self.energy_model.dma_microengine_energy_per_gemv_j,
-                    )
-                    result.gemv_count += 1
-                    result.macs += i_size * k_size
-                    c_out[i0 : i0 + i_size, j] += partial
+                    self._dma_in(req.addr_a, tile_bytes, result)
+                cost = self.tile.write_matrix(np.ascontiguousarray(a_tile.T))
+                if sharded:
+                    shard.program_s = cost.latency_s
+                else:
+                    self._advance("crossbar", "write_crossbar", cost.latency_s)
+                result.crossbar_writes += i_size * k_size
+                result.crossbar_write_ops += 1
+                self._programmed_operand = tile_key
+                self._programmed_values = a_tile.copy()
+            else:
+                self.counters.add("cim.crossbar_write_reuse", 1)
+            # --- stream the columns of B through the tile -------------
+            in_bytes = k_size * elem
+            if self.batch_gemv and req.n > 1:
+                # Batched dispatch: all N column vectors against the
+                # programmed tile in one tile operation.  Per-GEMV
+                # energy/latency/DMA accounting is applied n-fold, so
+                # the reports are identical to the sequential loop.
+                x_block = np.ascontiguousarray(b[k0 : k0 + k_size, :].T)
+                dma_time = self._dma_in(req.addr_b, in_bytes, result,
+                                        overlappable=True, repeat=req.n)
+                partial, cost = self.tile.gemv_batch(
+                    x_block, rows_active=k_size, cols_active=i_size
+                )
+                gemv_time = cost.latency_s / req.n
+                if self.double_buffering:
+                    step = req.n * max(gemv_time, dma_time)
+                else:
+                    step = req.n * (gemv_time + dma_time)
+                self._step_compute(shard, sharded, step)
+                self.energy.add(
+                    "cim.dma_microengine",
+                    req.n * self.energy_model.dma_microengine_energy_per_gemv_j,
+                )
+                result.gemv_count += req.n
+                result.macs += req.n * i_size * k_size
+                c_out[i0 : i0 + i_size, :] += partial.T
+                if sharded:
+                    shard_work.append(shard)
+                continue
+            for j in range(req.n):
+                x = b[k0 : k0 + k_size, j]
+                dma_time = self._dma_in(req.addr_b, in_bytes, result,
+                                        overlappable=True)
+                partial, cost = self.tile.gemv(
+                    x, rows_active=k_size, cols_active=i_size
+                )
+                gemv_time = cost.latency_s
+                if self.double_buffering:
+                    step = max(gemv_time, dma_time)
+                else:
+                    step = gemv_time + dma_time
+                self._step_compute(shard, sharded, step)
+                self.energy.add(
+                    "cim.dma_microengine",
+                    self.energy_model.dma_microengine_energy_per_gemv_j,
+                )
+                result.gemv_count += 1
+                result.macs += i_size * k_size
+                c_out[i0 : i0 + i_size, j] += partial
+            if sharded:
+                shard_work.append(shard)
+        if sharded:
+            self._clock_s = self.scheduler.schedule(
+                shard_work, start_s=self._clock_s, timeline=self.timeline
+            )
         # --- post-processing and write-back ------------------------------
         digital_ops = req.m * req.n  # alpha scaling
         if req.beta != 0.0:
@@ -344,7 +386,14 @@ class MicroEngine:
 
         out = np.zeros((req.out_h, req.out_w), dtype=np.float64)
         col_starts = list(range(0, req.out_w, t_cols))
+        # Multi-tile mode: the filter was broadcast-programmed into every
+        # tile above (charged once — tile-count-invariant accounting, see
+        # docs/scheduler.md); each output row becomes one shard streamed on
+        # whichever tile lane frees up first.
+        sharded = self.num_tiles > 1
+        shard_work: list[ShardWork] = []
         for oi in range(req.out_h):
+            shard = ShardWork(label=f"out_row[{oi}]") if sharded else None
             slabs = np.zeros((len(col_starts), kh, slab_w), dtype=np.float64)
             active_cols = []
             for slab_idx, oj in enumerate(col_starts):
@@ -365,7 +414,7 @@ class MicroEngine:
                 gemv_time = cost.latency_s / n
                 step = n * (max(gemv_time, dma_time) if self.double_buffering
                             else gemv_time + dma_time)
-                self._advance("crossbar", "compute", step)
+                self._step_compute(shard, sharded, step)
                 self.energy.add(
                     "cim.dma_microengine",
                     n * self.energy_model.dma_microengine_energy_per_gemv_j,
@@ -375,6 +424,8 @@ class MicroEngine:
                     active = active_cols[slab_idx]
                     result.macs += taps * active
                     out[oi, oj : oj + active] = values[slab_idx, :active]
+                if sharded:
+                    shard_work.append(shard)
                 continue
             for slab_idx, oj in enumerate(col_starts):
                 active = active_cols[slab_idx]
@@ -387,7 +438,7 @@ class MicroEngine:
                 step = max(cost.latency_s, dma_time) if self.double_buffering else (
                     cost.latency_s + dma_time
                 )
-                self._advance("crossbar", "compute", step)
+                self._step_compute(shard, sharded, step)
                 self.energy.add(
                     "cim.dma_microengine",
                     self.energy_model.dma_microengine_energy_per_gemv_j,
@@ -395,6 +446,12 @@ class MicroEngine:
                 result.gemv_count += 1
                 result.macs += taps * active
                 out[oi, oj : oj + active] = values[:active]
+            if sharded:
+                shard_work.append(shard)
+        if sharded:
+            self._clock_s = self.scheduler.schedule(
+                shard_work, start_s=self._clock_s, timeline=self.timeline
+            )
 
         digital_ops = req.out_h * req.out_w
         if req.beta != 0.0:
@@ -484,6 +541,16 @@ class MicroEngine:
         return duration
 
     # ------------------------------------------------------------------
+    def _step_compute(
+        self, shard: Optional[ShardWork], sharded: bool, step_s: float
+    ) -> None:
+        """Account one streaming step: onto the shard (multi-tile mode, the
+        scheduler places it later) or straight onto the serial clock."""
+        if sharded:
+            shard.compute_s += step_s
+        else:
+            self._advance("crossbar", "compute", step_s)
+
     def _advance(self, component: str, action: str, duration_s: float) -> None:
         self.timeline.record(component, action, self._clock_s, duration_s)
         self._clock_s += duration_s

@@ -1,0 +1,188 @@
+"""Multi-tile offload scheduler: shards kernel work across CIM tiles.
+
+The seed model offloads each kernel to a single CIM tile and serializes
+every phase — DMA-in, crossbar programming, GEMV streaming — on one clock.
+This module generalises that into an event-driven timing model for an
+accelerator with ``num_tiles`` identical tiles:
+
+* :func:`plan_gemm_shards` decomposes ``op(A)`` of a GEMM/GEMV into
+  crossbar-granularity blocks (2-D ``(i, k)`` blocks for GEMM; for GEMV,
+  where the contraction usually fits the crossbar rows, this degenerates to
+  row-block sharding over the output dimension).
+* :class:`TileScheduler` assigns those shards to tile lanes (greedy
+  least-finish-time, in shard order) and pipelines each lane: with double
+  buffering, the DMA-in of a lane's next shard overlaps the compute of its
+  current shard (classic ping-pong buffering), so transfer latency hides
+  behind crossbar compute.
+
+The scheduler only decides *when* each phase happens and on which tile.
+Functional execution and energy/endurance accounting happen in the
+micro-engine exactly as in the single-tile model, so aggregate energy,
+crossbar wear, GEMV counts and DMA traffic are tile-count-invariant by
+construction — only the reported latency (timeline makespan) changes.
+Shard granularity is the crossbar block: sharding below it would change
+the number of programming operations and break that invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.hw.timeline import Timeline
+
+
+@dataclass(frozen=True)
+class ShardBlock:
+    """One crossbar-granularity operand block of a sharded kernel.
+
+    ``i0``/``i_size`` index the output-row dimension of ``op(A)`` (mapped to
+    crossbar columns), ``k0``/``k_size`` the contraction dimension (mapped
+    to crossbar rows).
+    """
+
+    i0: int
+    i_size: int
+    k0: int
+    k_size: int
+
+
+def plan_gemm_shards(m: int, k: int, cols: int, rows: int) -> list[ShardBlock]:
+    """2-D block decomposition of an ``m x k`` operand at crossbar granularity.
+
+    ``cols``/``rows`` are the crossbar geometry: output rows (``i``) map to
+    crossbar columns, the contraction (``k``) to crossbar rows.  The blocks
+    partition the operand exactly: disjoint, covering, and each within the
+    crossbar geometry.
+    """
+    if min(m, k, cols, rows) <= 0:
+        raise ValueError("shard planning needs positive dimensions")
+    shards: list[ShardBlock] = []
+    for i0 in range(0, m, cols):
+        for k0 in range(0, k, rows):
+            shards.append(
+                ShardBlock(i0, min(cols, m - i0), k0, min(rows, k - k0))
+            )
+    return shards
+
+
+@dataclass
+class ShardWork:
+    """Timing phases of one shard of offloaded work.
+
+    ``dma_in_s`` is the operand transfer for programming the shard's block,
+    ``program_s`` the crossbar write, and ``compute_s`` the GEMV streaming
+    (which already folds in the per-vector input DMA, overlapped or serial
+    according to the micro-engine's double-buffering flag).
+    """
+
+    dma_in_s: float = 0.0
+    program_s: float = 0.0
+    compute_s: float = 0.0
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class ShardPlacement:
+    """Where and when one shard ran."""
+
+    work: ShardWork
+    tile: int
+    dma_start_s: float
+    dma_end_s: float
+    compute_start_s: float
+    compute_end_s: float
+
+
+class TileScheduler:
+    """Assigns shard work to tile lanes and pipelines DMA against compute.
+
+    Each tile lane has two resources: its DMA channel and its
+    crossbar/micro-engine compute path.  A shard's compute (programming +
+    streaming) starts once its DMA-in finished *and* the lane's previous
+    compute finished.  With ``double_buffering`` the lane's next DMA-in may
+    start as soon as the current shard's compute begins consuming its buffer
+    (ping-pong); without it, the next DMA-in waits for the compute to end.
+    """
+
+    def __init__(self, num_tiles: int = 1, double_buffering: bool = True):
+        if num_tiles < 1:
+            raise ValueError(f"num_tiles must be >= 1, got {num_tiles}")
+        self.num_tiles = num_tiles
+        self.double_buffering = double_buffering
+        self.placements: list[ShardPlacement] = []
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        shards: Sequence[ShardWork],
+        start_s: float = 0.0,
+        timeline: Optional[Timeline] = None,
+    ) -> float:
+        """Place *shards* on the tile lanes; returns the finish time.
+
+        Records one ``tile{t}.dma`` event per DMA-in phase and
+        ``tile{t}.crossbar`` events for programming and compute into
+        *timeline* (when given).  Shards are placed in order on the lane
+        that lets them finish earliest.
+        """
+        dma_free = [start_s] * self.num_tiles
+        compute_free = [start_s] * self.num_tiles
+        finish = start_s
+        self.placements = []
+        for shard in shards:
+            best_tile = 0
+            best: Optional[tuple[float, float, float, float]] = None
+            for tile in range(self.num_tiles):
+                dma_start = dma_free[tile]
+                dma_end = dma_start + shard.dma_in_s
+                compute_start = max(dma_end, compute_free[tile])
+                compute_end = compute_start + shard.program_s + shard.compute_s
+                if best is None or compute_end < best[3]:
+                    best_tile, best = tile, (
+                        dma_start, dma_end, compute_start, compute_end
+                    )
+            assert best is not None
+            dma_start, dma_end, compute_start, compute_end = best
+            tile = best_tile
+            if self.double_buffering:
+                dma_free[tile] = max(dma_end, compute_start)
+            else:
+                dma_free[tile] = compute_end
+            compute_free[tile] = compute_end
+            finish = max(finish, compute_end)
+            placement = ShardPlacement(
+                shard, tile, dma_start, dma_end, compute_start, compute_end
+            )
+            self.placements.append(placement)
+            if timeline is not None:
+                self._record(timeline, placement)
+        return finish
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(timeline: Timeline, placement: ShardPlacement) -> None:
+        shard = placement.work
+        tile = placement.tile
+        if shard.dma_in_s > 0:
+            timeline.record(
+                f"tile{tile}.dma", "fill_buffer",
+                placement.dma_start_s, shard.dma_in_s,
+            )
+        if shard.program_s > 0:
+            timeline.record(
+                f"tile{tile}.crossbar", "write_crossbar",
+                placement.compute_start_s, shard.program_s,
+            )
+        if shard.compute_s > 0:
+            timeline.record(
+                f"tile{tile}.crossbar", "compute",
+                placement.compute_start_s + shard.program_s, shard.compute_s,
+            )
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"TileScheduler(num_tiles={self.num_tiles}, "
+            f"double_buffering={self.double_buffering})"
+        )

@@ -1,4 +1,17 @@
-"""Energy and event accounting shared by all hardware components."""
+"""Energy and event accounting shared by all hardware components.
+
+Every hardware model charges into a shared :class:`EnergyLedger` (joules
+per named category, e.g. ``cim.crossbar_write``) and a shared
+:class:`StatCounter` (integer event counts, e.g. ``cim.gemv_ops``); the
+evaluation layer slices these into the paper's host/accelerator totals.
+
+Accounting invariant: energy and counters are charged where the *work*
+happens (one charge per physical operation), never where the *time* is
+scheduled.  That is what keeps the aggregate reports bit-identical across
+dispatch strategies — batched vs. sequential GEMV dispatch, and one CIM
+tile vs. many (:mod:`repro.hw.scheduler` redistributes phases in time but
+triggers the exact same sequence of charges).
+"""
 
 from __future__ import annotations
 

@@ -1,9 +1,19 @@
 """Event timeline of an accelerator run (Figure 2 (d) of the paper).
 
-The micro-engine records one event per phase — filling buffers via DMA,
-computing on the CIM tile, accumulating in the digital logic, storing
-results — so examples and tests can reconstruct the execution timeline and
-verify double-buffering overlap.
+The micro-engine records one :class:`TimelineEvent` per hardware phase —
+filling buffers via DMA, programming and computing on a CIM tile,
+accumulating in the digital logic, storing results — so examples and tests
+can reconstruct the execution timeline and verify pipelining.
+
+Component naming convention: the single-tile (seed) path records plain
+component names (``"dma"``, ``"crossbar"``); the multi-tile scheduler
+prefixes them with the tile lane (``"tile0.dma"``, ``"tile2.crossbar"``),
+so per-lane busy time and overlap can be checked with :meth:`Timeline.
+busy_time` / :meth:`Timeline.by_component`.  Events on *different*
+components may overlap in time (that is the point of double buffering and
+multi-tile sharding); events on one component never do.  The reported
+accelerator latency of a run is the timeline :attr:`Timeline.makespan_s`,
+not the sum of event durations.
 """
 
 from __future__ import annotations

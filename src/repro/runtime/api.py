@@ -45,6 +45,13 @@ class CimRuntime:
         if not self._initialised_devices:
             raise CimRuntimeError("cim_init() must be called before any other API")
 
+    def cim_device_info(self) -> dict:
+        """Structural device info (tile count, crossbar geometry) via the
+        driver's ``CIM_QUERY`` ioctl — the counterpart of a
+        ``polly_cimDeviceInfo`` query."""
+        self._require_init()
+        return self.driver.query_info()
+
     # ------------------------------------------------------------------
     # polly_cimMalloc / polly_cimFree
     # ------------------------------------------------------------------

@@ -5,6 +5,12 @@ host, main memory, and the CIM accelerator connected through a system bus,
 with the software stack of Figure 3 layered on top.  :class:`CimSystem`
 assembles everything and is the single entry point the code generator's
 executor and the evaluation harness use.
+
+:class:`SystemConfig` carries the Table I hardware parameters plus the
+simulation knobs: ``num_tiles`` (multi-tile offload sharding, default 1),
+``crossbar_rows``/``crossbar_cols`` geometry overrides, ``double_buffering``
+(DMA/compute pipelining), and the ``batch_gemv``/``reuse_resident_gemv``
+dispatch flags.
 """
 
 from repro.system.memory import SharedMemory, MemoryRegion

@@ -59,9 +59,7 @@ class CimSystem:
             self.memory,
             energy_model=self.config.cim,
             crossbar_config=self.config.crossbar_config(),
-            double_buffering=self.config.double_buffering,
-            batch_gemv=self.config.batch_gemv,
-            reuse_resident_gemv=self.config.reuse_resident_gemv,
+            config=self.config.accelerator_config(),
         )
         self.pmio_window = self.bus.attach_accelerator(self.accelerator)
         self.host_cpu = HostCPU(self.config.host)

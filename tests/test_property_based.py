@@ -168,6 +168,71 @@ def test_quantized_crossbar_error_bound(rows, cols, seed):
 
 
 # ----------------------------------------------------------------------
+# Multi-tile sharding: shard blocks exactly partition the operand
+# ----------------------------------------------------------------------
+@given(
+    st.integers(1, 300),
+    st.integers(1, 300),
+    st.integers(1, 64),
+    st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_gemm_shard_plan_partitions_operand(m, k, cols, rows):
+    from repro.hw.scheduler import plan_gemm_shards
+
+    shards = plan_gemm_shards(m, k, cols=cols, rows=rows)
+    covered = np.zeros((m, k), dtype=bool)
+    for shard in shards:
+        assert 0 < shard.i_size <= cols and 0 < shard.k_size <= rows
+        block = covered[
+            shard.i0 : shard.i0 + shard.i_size,
+            shard.k0 : shard.k0 + shard.k_size,
+        ]
+        assert block.shape == (shard.i_size, shard.k_size)
+        assert not block.any(), "shard blocks overlap"
+        block[:] = True
+    assert covered.all(), "shard blocks do not cover the operand"
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(0, 1e-3), st.floats(0, 1e-3), st.floats(1e-6, 1e-2)
+        ),
+        min_size=1,
+        max_size=24,
+    ),
+    st.integers(1, 8),
+)
+@settings(max_examples=60, deadline=None)
+def test_tile_scheduler_timeline_invariants(phase_specs, num_tiles):
+    from repro.hw.scheduler import ShardWork, TileScheduler
+    from repro.hw.timeline import Timeline
+
+    shards = [
+        ShardWork(dma_in_s=d, program_s=p, compute_s=c)
+        for d, p, c in phase_specs
+    ]
+    scheduler = TileScheduler(num_tiles)
+    timeline = Timeline()
+    finish = scheduler.schedule(shards, timeline=timeline)
+    serial = sum(s.dma_in_s + s.program_s + s.compute_s for s in shards)
+    assert finish <= serial + 1e-12
+    assert len(scheduler.placements) == len(shards)
+    for placement in scheduler.placements:
+        assert placement.compute_start_s >= placement.dma_end_s - 1e-12
+        assert placement.compute_end_s <= finish + 1e-12
+    # Per-lane compute never overlaps itself.
+    per_tile = {}
+    for placement in scheduler.placements:
+        per_tile.setdefault(placement.tile, []).append(placement)
+    for placements in per_tile.values():
+        ordered = sorted(placements, key=lambda p: p.compute_start_s)
+        for prev, cur in zip(ordered, ordered[1:]):
+            assert cur.compute_start_s >= prev.compute_end_s - 1e-12
+
+
+# ----------------------------------------------------------------------
 # Endurance model: lifetime is monotone in its arguments
 # ----------------------------------------------------------------------
 @given(

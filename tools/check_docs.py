@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Documentation checker run by the CI docs job.
+
+Two checks, no dependencies beyond the standard library:
+
+1. **Link resolution** — every intra-repo markdown link in ``docs/*.md``
+   and ``README.md`` (relative targets; external ``http(s)``/``mailto``
+   links and pure ``#anchor`` links are skipped) must point at an existing
+   file or directory.
+2. **Architecture coverage** — every package under ``src/repro/`` (a
+   directory with an ``__init__.py``) must be mentioned in
+   ``docs/architecture.md``, so the walkthrough cannot silently go stale
+   when a new package lands.
+
+Exits non-zero with one line per problem.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — deliberately simple; code spans with parentheses
+#: are not a link pattern this repo's docs use.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_doc_files() -> list[Path]:
+    files = sorted((REPO_ROOT / "docs").glob("*.md"))
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    return files
+
+
+def check_links(files: list[Path]) -> list[str]:
+    problems = []
+    for doc in files:
+        for line_no, line in enumerate(doc.read_text().splitlines(), 1):
+            for target in LINK_RE.findall(line):
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:  # pure anchor into the same file
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{doc.relative_to(REPO_ROOT)}:{line_no}: "
+                        f"broken link -> {target}"
+                    )
+    return problems
+
+
+def check_architecture_coverage() -> list[str]:
+    architecture = REPO_ROOT / "docs" / "architecture.md"
+    if not architecture.exists():
+        return ["docs/architecture.md is missing"]
+    text = architecture.read_text()
+    problems = []
+    src_root = REPO_ROOT / "src" / "repro"
+    for init in sorted(src_root.rglob("__init__.py")):
+        package = init.parent.relative_to(REPO_ROOT / "src").as_posix()
+        if f"src/{package}" not in text and f"`{package}`" not in text:
+            problems.append(
+                f"docs/architecture.md: package {package} is not mentioned"
+            )
+    return problems
+
+
+def main() -> int:
+    files = iter_doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    problems = check_links(files) + check_architecture_coverage()
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    packages = len(list((REPO_ROOT / "src" / "repro").rglob("__init__.py")))
+    print(
+        f"docs OK: {len(files)} files checked, all links resolve, "
+        f"{packages} packages covered in architecture.md"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
