@@ -18,7 +18,9 @@ N = 48
 
 
 def _run(enable_fusion: bool):
-    options = CompileOptions(enable_fusion=enable_fusion)
+    # Pipeline-level ablation: fusion on/off is the named "default" vs
+    # "no-fusion" pass pipeline, not a bespoke feature flag.
+    options = CompileOptions(pipeline="default" if enable_fusion else "no-fusion")
     result = compile_source(SHARED_INPUT_GEMMS_SOURCE, options=options,
                             size_hint={"N": N})
     rng = np.random.default_rng(11)

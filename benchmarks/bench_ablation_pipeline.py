@@ -1,0 +1,116 @@
+"""Ablation: named pass pipelines across the PolyBench suite.
+
+Compiles every paper kernel through the three named pipelines —
+``default`` (the full Figure 4 flow), ``no-fusion`` (fusion pass removed)
+and ``detect-only`` (analysis without transformation) — and reports, per
+pipeline, what was detected/offloaded, which runtime calls were emitted,
+and the per-pass wall-time breakdown the pass manager records.  Writes
+``BENCH_PIPELINES.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ablation_pipeline.py           # full
+    PYTHONPATH=src python benchmarks/bench_ablation_pipeline.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from collections import defaultdict
+from pathlib import Path
+
+from repro.compiler import CompileOptions, TdoCimCompiler
+from repro.compiler.passes import resolve_pass_names
+from repro.workloads import PAPER_KERNELS, get_kernel
+
+PIPELINES = ("default", "no-fusion", "detect-only")
+
+
+def run_benchmark(smoke: bool = False, dataset: str = "SMALL") -> dict:
+    kernels = PAPER_KERNELS[:3] if smoke else PAPER_KERNELS
+    rows = []
+    pass_totals: dict[str, dict[str, float]] = {
+        pipeline: defaultdict(float) for pipeline in PIPELINES
+    }
+    for name in kernels:
+        kernel = get_kernel(name)
+        for pipeline in PIPELINES:
+            options = CompileOptions(pipeline=pipeline, enable_compile_cache=False)
+            compiler = TdoCimCompiler(options)
+            result = compiler.compile(kernel.source, size_hint=kernel.params(dataset))
+            report = result.report
+            for timing in report.pass_timings:
+                pass_totals[pipeline][timing.name] += timing.wall_time_s
+            rows.append(
+                {
+                    "kernel": name,
+                    "pipeline": pipeline,
+                    "passes": len(report.pass_timings),
+                    "compile_time_s": sum(
+                        t.wall_time_s for t in report.pass_timings
+                    ),
+                    "detected": len(result.matches),
+                    "offloaded": report.offloaded_kernels,
+                    "fusion_groups": len(report.fusion_groups),
+                    "runtime_calls": list(report.runtime_calls_emitted),
+                }
+            )
+    return {
+        "benchmark": "pipeline_ablation",
+        "dataset": dataset,
+        "python": platform.python_version(),
+        "pipelines": {
+            pipeline: list(resolve_pass_names(pipeline)) for pipeline in PIPELINES
+        },
+        "rows": rows,
+        "pass_wall_time_s": {
+            pipeline: dict(totals) for pipeline, totals in pass_totals.items()
+        },
+    }
+
+
+def format_rows(data: dict) -> str:
+    lines = [
+        f"{'kernel':<10s} {'pipeline':<12s} {'detected':>8s} {'offloaded':>9s} "
+        f"{'fused':>5s} {'compile ms':>10s}  runtime calls"
+    ]
+    for row in data["rows"]:
+        lines.append(
+            f"{row['kernel']:<10s} {row['pipeline']:<12s} {row['detected']:>8d} "
+            f"{row['offloaded']:>9d} {row['fusion_groups']:>5d} "
+            f"{row['compile_time_s'] * 1e3:>10.3f}  {', '.join(row['runtime_calls']) or '-'}"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced CI run")
+    parser.add_argument("--dataset", default="SMALL")
+    parser.add_argument(
+        "--output", default="BENCH_PIPELINES.json", help="JSON output path"
+    )
+    args = parser.parse_args()
+
+    data = run_benchmark(smoke=args.smoke, dataset=args.dataset)
+    table = format_rows(data)
+    print(table)
+
+    # Sanity: detect-only never transforms, default never detects less.
+    for row in data["rows"]:
+        if row["pipeline"] == "detect-only":
+            assert row["offloaded"] == 0 and not row["runtime_calls"]
+        if row["pipeline"] == "no-fusion":
+            assert row["fusion_groups"] == 0
+
+    Path(args.output).write_text(json.dumps(data, indent=2) + "\n")
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "ablation_pipeline.txt").write_text(table + "\n")
+    print(f"\nwrote {args.output} and benchmarks/results/ablation_pipeline.txt")
+
+
+if __name__ == "__main__":
+    main()

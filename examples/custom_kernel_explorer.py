@@ -52,9 +52,25 @@ def main() -> None:
     run(CompileOptions.selective(threshold=32.0),
         "selective: MACs-per-write threshold = 32")
 
-    # 3. Show the generated program and the accelerator timeline for the
+    # 3. Pipeline-level views: detection without transformation, and the
+    #    per-pass instrumentation the pass manager records.
+    detect = compile_source(
+        MIXED_SOURCE,
+        options=CompileOptions(pipeline="detect-only"),
+        size_hint={"N": 64},
+    )
+    print("--- detect-only pipeline " + "-" * 37)
+    print(f"SCoPs: {detect.report.scop_count}, matches: "
+          f"{[(m.kind, m.update_stmt) for m in detect.matches]} "
+          f"(program untouched: {detect.program is detect.source_program})")
+    print()
+
+    # 4. Show the generated program and the accelerator timeline for the
     #    default flow.
     result = compile_source(MIXED_SOURCE, size_hint={"N": 64})
+    print("--- pass timings " + "-" * 45)
+    print(result.report.timing_summary())
+    print()
     print("--- generated code " + "-" * 43)
     print(to_source(result.program))
     print()

@@ -23,6 +23,7 @@ from repro.compiler import (
     CompileOptions,
     CompilationReport,
     CompilationResult,
+    PipelineError,
     TdoCimCompiler,
     compile_source,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "CompileOptions",
     "CompilationReport",
     "CompilationResult",
+    "PipelineError",
     "TdoCimCompiler",
     "compile_source",
     "OffloadExecutor",

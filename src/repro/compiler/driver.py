@@ -1,32 +1,36 @@
-"""The end-to-end TDO-CIM compilation pipeline (Figure 4)."""
+"""The end-to-end TDO-CIM compilation driver (Figure 4).
+
+:class:`TdoCimCompiler` is a thin wrapper around the pass-manager subsystem
+(:mod:`repro.compiler.passes`): it resolves ``CompileOptions.pipeline``
+into a :class:`~repro.compiler.passes.manager.PassManager`, threads a
+:class:`~repro.compiler.passes.context.CompilationContext` through it, and
+memoises the result in the content-addressed compile cache.  The pipeline
+itself — parse → normalize → detect SCoPs → build schedule trees → match
+kernels → select offload → isolate → fuse → tile → device-map → lower —
+lives entirely in the pass classes.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Mapping, Optional, Sequence, Union
+import copy
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
 
-from repro.codegen.lowering import reassemble_program
 from repro.compiler.cache import (
     KernelCompileCache,
     compile_fingerprint,
     get_default_cache,
 )
 from repro.compiler.options import CompileOptions
-from repro.compiler.report import CompilationReport, KernelDecision
-from repro.frontend.parser import parse_program
-from repro.ir.normalize import normalize_reductions
+from repro.compiler.passes.context import CompilationContext
+from repro.compiler.passes.pipelines import build_pipeline
+from repro.compiler.passes.policy import OffloadPolicy
+from repro.compiler.report import CompilationReport
 from repro.ir.program import Program
-from repro.ir.stmt import Stmt
-from repro.poly.astgen import generate_ir
-from repro.poly.schedule_build import build_schedule_tree
 from repro.poly.schedule_tree import DomainNode
-from repro.poly.scop import Scop, detect_scops
-from repro.tactics.patterns import KernelMatch, find_all_kernels
-from repro.tactics.patterns.gemm import GemmMatch
-from repro.transforms.device_map import DeviceMappingResult, map_kernels_to_cim
-from repro.transforms.distribution import isolate_match
-from repro.transforms.fusion import FusionGroup, find_fusable_groups
-from repro.transforms.tiling import TilingError, tile_gemm_for_crossbar
+from repro.poly.scop import Scop
+from repro.tactics.patterns import KernelMatch
+from repro.transforms.device_map import DeviceMappingResult
 
 
 @dataclass
@@ -50,16 +54,27 @@ class CompilationResult:
 
 
 class TdoCimCompiler:
-    """Transparent detection and offloading for computation in-memory."""
+    """Transparent detection and offloading for computation in-memory.
+
+    ``policy`` optionally overrides the offload-selection strategy with an
+    :class:`OffloadPolicy` *instance* (for experiments with unregistered
+    strategies).  An instance override is not part of the compile-cache
+    fingerprint, so it disables caching for this compiler; registered
+    policies selected via ``options.offload_policy`` cache normally.
+    """
 
     def __init__(
         self,
         options: Optional[CompileOptions] = None,
         cache: Optional[KernelCompileCache] = None,
+        policy: Optional[OffloadPolicy] = None,
     ):
         self.options = options or CompileOptions()
-        if cache is not None:
-            self.cache: Optional[KernelCompileCache] = cache
+        self.policy = policy
+        if policy is not None:
+            self.cache: Optional[KernelCompileCache] = None
+        elif cache is not None:
+            self.cache = cache
         elif not self.options.enable_compile_cache:
             self.cache = None
         elif self.options.compile_cache_dir is not None:
@@ -83,6 +98,8 @@ class TdoCimCompiler:
 
         With ``options.enable_compile_cache`` (the default) the result is
         memoised by content fingerprint — see :mod:`repro.compiler.cache`.
+        The fingerprint covers every options field, including the pipeline
+        description, so results from different pipelines never alias.
         """
         key: Optional[str] = None
         if self.cache is not None:
@@ -90,11 +107,13 @@ class TdoCimCompiler:
             cached = self.cache.get(key)
             if cached is not None:
                 return cached
-        result = self._compile_uncached(source, size_hint)
+        result = self._compile_uncached(source, size_hint, cache_key=key)
         if key is not None:
             # Snapshot the options so a caller mutating theirs after the
             # fact cannot change the cached artifact under its old key.
-            result.options = replace(self.options)
+            # A deep copy: ``dataclasses.replace`` would share any mutable
+            # field (e.g. a ``dump_ir_after`` list) with the caller.
+            result.options = copy.deepcopy(self.options)
             self.cache.put(key, result)
         return result
 
@@ -102,209 +121,37 @@ class TdoCimCompiler:
         self,
         source: Union[str, Program],
         size_hint: Optional[Mapping[str, int | float]] = None,
+        cache_key: Optional[str] = None,
     ) -> CompilationResult:
-        program = parse_program(source) if isinstance(source, str) else source
-        program = normalize_reductions(program)
-        options = self.options
-        report = CompilationReport(program=program.name)
-
-        scops = detect_scops(program)
-        report.scop_count = len(scops)
-        result = CompilationResult(
-            source_program=program,
-            program=program,
-            report=report,
-            scops=scops,
-            options=options,
+        manager = build_pipeline(self.options.pipeline, policy=self.policy)
+        ctx = CompilationContext(
+            source=source,
+            options=self.options,
+            size_hint=size_hint,
+            cache_key=cache_key,
         )
-        if not scops or not options.enable_offload:
-            # Nothing to do: the "compiled" program is the input program.
-            for scop in scops:
-                tree = build_schedule_tree(scop)
-                result.trees.append(tree)
-                for match in find_all_kernels(scop, tree):
-                    result.matches.append(match)
-                    report.decisions.append(
-                        KernelDecision(
-                            scop=scop.name,
-                            statement=match.update_stmt,
-                            kind=match.kind,
-                            offloaded=False,
-                            reason="offloading disabled",
-                        )
-                    )
-            return result
+        manager.run(ctx)
+        return _result_from_context(ctx)
 
-        replacements: list[tuple[Scop, list[Stmt]]] = []
-        anything_offloaded = False
-        for scop in scops:
-            tree = build_schedule_tree(scop)
-            result.trees.append(tree)
-            matches = find_all_kernels(scop, tree)
-            result.matches.extend(matches)
 
-            selected, decisions = self._select(scop, matches, size_hint)
-
-            # Isolate each selected kernel into its own loop nest (loop
-            # distribution); kernels that cannot be isolated legally stay on
-            # the host.
-            isolated: list[KernelMatch] = []
-            for match in selected:
-                if isolate_match(tree, match):
-                    isolated.append(match)
-                else:
-                    for decision in decisions:
-                        if decision.statement == match.update_stmt:
-                            decision.offloaded = False
-                            decision.reason = (
-                                "kernel shares its loop nest with other statements "
-                                "and loop distribution is not legal"
-                            )
-            selected = isolated
-            report.decisions.extend(decisions)
-
-            groups: list[FusionGroup] = []
-            if options.enable_fusion and len(selected) > 1:
-                groups = find_fusable_groups(
-                    scop,
-                    selected,
-                    require_shared_input=options.fusion_requires_shared_input,
-                )
-                for group in groups:
-                    names = [m.update_stmt for m in group.matches]
-                    report.fusion_groups.append(names)
-                    for decision in report.decisions:
-                        if decision.statement in names:
-                            decision.fused_with = [
-                                n for n in names if n != decision.statement
-                            ]
-
-            if options.enable_tiling:
-                for match in selected:
-                    if isinstance(match, GemmMatch):
-                        try:
-                            tile_gemm_for_crossbar(
-                                tree,
-                                match,
-                                options.crossbar_rows,
-                                options.crossbar_cols,
-                            )
-                            report.tiled_kernels.append(match.update_stmt)
-                        except TilingError:
-                            # Imperfect nests (init statement inside) are left
-                            # untiled; the micro-engine still tiles internally.
-                            pass
-
-            if selected:
-                mapping = map_kernels_to_cim(tree, selected, groups)
-                result.mappings.append(mapping)
-                anything_offloaded = anything_offloaded or mapping.any_offloaded
-                report.runtime_calls_emitted.extend(
-                    m.call_name for m in mapping.mappings
-                )
-            replacements.append((scop, generate_ir(tree)))
-
-        compiled = reassemble_program(
-            program, replacements, add_init_call=anything_offloaded
+def _result_from_context(ctx: CompilationContext) -> CompilationResult:
+    """Fold a finished pass-pipeline context into the public result type."""
+    program = ctx.program
+    if program is None:
+        raise ValueError(
+            "pipeline produced no program — it must include the 'parse' pass"
         )
-        result.program = compiled
-        return result
-
-    # ------------------------------------------------------------------
-    def _select(
-        self,
-        scop: Scop,
-        matches: Sequence[KernelMatch],
-        size_hint: Optional[Mapping[str, int | float]],
-    ) -> tuple[list[KernelMatch], list[KernelDecision]]:
-        """Apply the offloading policy to the detected kernels."""
-        options = self.options
-        selected: list[KernelMatch] = []
-        decisions: list[KernelDecision] = []
-        for match in matches:
-            intensity = self._estimated_intensity(match, size_hint)
-            if not options.wants_kind(match.kind):
-                decisions.append(
-                    KernelDecision(
-                        scop=scop.name,
-                        statement=match.update_stmt,
-                        kind=match.kind,
-                        offloaded=False,
-                        reason=f"kind {match.kind!r} excluded by options",
-                        estimated_macs_per_write=intensity,
-                    )
-                )
-                continue
-            if (
-                options.min_macs_per_write is not None
-                and intensity is not None
-                and intensity < options.min_macs_per_write
-            ):
-                decisions.append(
-                    KernelDecision(
-                        scop=scop.name,
-                        statement=match.update_stmt,
-                        kind=match.kind,
-                        offloaded=False,
-                        reason=(
-                            f"compute intensity {intensity:.1f} MACs/write below "
-                            f"threshold {options.min_macs_per_write:.1f}"
-                        ),
-                        estimated_macs_per_write=intensity,
-                    )
-                )
-                continue
-            selected.append(match)
-            decisions.append(
-                KernelDecision(
-                    scop=scop.name,
-                    statement=match.update_stmt,
-                    kind=match.kind,
-                    offloaded=True,
-                    reason="pattern matched by Loop Tactics",
-                    estimated_macs_per_write=intensity,
-                )
-            )
-        return selected, decisions
-
-    @staticmethod
-    def _estimated_intensity(
-        match: KernelMatch, size_hint: Optional[Mapping[str, int | float]]
-    ) -> Optional[float]:
-        """MACs per crossbar-cell write, estimated from the size hint."""
-        if size_hint is None:
-            return None
-        try:
-            if match.kind == "gemm":
-                macs = (
-                    match.extent("i", dict(size_hint))
-                    * match.extent("j", dict(size_hint))
-                    * match.extent("k", dict(size_hint))
-                )
-                writes = match.extent("i", dict(size_hint)) * match.extent(
-                    "k", dict(size_hint)
-                )
-            elif match.kind == "gemv":
-                macs = match.extent("i", dict(size_hint)) * match.extent(
-                    "j", dict(size_hint)
-                )
-                writes = macs  # every matrix element is written and used once
-            elif match.kind == "conv2d":
-                out = match.extent("i", dict(size_hint)) * match.extent(
-                    "j", dict(size_hint)
-                )
-                taps = match.extent("p", dict(size_hint)) * match.extent(
-                    "q", dict(size_hint)
-                )
-                macs = out * taps
-                writes = taps
-            else:
-                return None
-        except Exception:
-            return None
-        if writes == 0:
-            return None
-        return macs / writes
+    source_program = ctx.source_program if ctx.source_program is not None else program
+    return CompilationResult(
+        source_program=source_program,
+        program=program,
+        report=ctx.report,
+        scops=ctx.scops,
+        trees=ctx.trees,
+        matches=ctx.matches,
+        mappings=ctx.mappings,
+        options=ctx.options,
+    )
 
 
 def compile_source(

@@ -57,11 +57,34 @@ class CompileOptions:
     #: :meth:`OffloadExecutor.run`; it does not change the generated code
     #: or any cost-model report.
     engine: str = "vectorized"
+    #: Pass pipeline to run: a named pipeline (``"default"``, ``"no-fusion"``,
+    #: ``"detect-only"``) or an explicit sequence of pass names (see
+    #: :data:`repro.compiler.passes.PASS_REGISTRY`).  Part of the compile-cache
+    #: fingerprint, so results from different pipelines never alias.
+    pipeline: str | tuple[str, ...] | list[str] = "default"
+    #: Offload-selection policy applied by the ``select-offload`` pass:
+    #: ``"threshold"`` (the paper's behaviour — kind filter plus the optional
+    #: ``min_macs_per_write`` compute-intensity heuristic), ``"always"`` or
+    #: ``"never"`` (ablation strategies).
+    offload_policy: str = "threshold"
+    #: Pass names after which the pass manager stores the printed IR into
+    #: ``CompilationReport.ir_dumps`` (e.g. ``("isolate", "lower")``).
+    dump_ir_after: tuple[str, ...] | list[str] = ()
 
     def __post_init__(self) -> None:
+        from repro.compiler.passes.pipelines import PASS_REGISTRY, validate_pipeline
+        from repro.compiler.passes.policy import validate_policy
         from repro.ir.engine import validate_engine
 
         validate_engine(self.engine)
+        validate_pipeline(self.pipeline)
+        validate_policy(self.offload_policy)
+        for name in self.dump_ir_after:
+            if name not in PASS_REGISTRY:
+                raise ValueError(
+                    f"unknown pass {name!r} in dump_ir_after; "
+                    f"available passes: {sorted(PASS_REGISTRY)}"
+                )
 
     def wants_kind(self, kind: str) -> bool:
         return kind in self.offload_kinds

@@ -1,0 +1,93 @@
+"""The pass manager: ordering validation + per-pass instrumentation."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.compiler.passes.base import Pass, PipelineError
+from repro.compiler.passes.context import CompilationContext
+from repro.compiler.report import PassTiming
+from repro.ir.printer import to_source
+from repro.ir.program import Program
+
+
+def _ir_size(program: Optional[Program]) -> int:
+    """Lines of printed IR — the delta metric recorded per pass."""
+    if program is None:
+        return 0
+    return len(to_source(program).splitlines())
+
+
+class PassManager:
+    """Owns pass ordering and executes a pipeline over one context.
+
+    The dataflow contract (every pass's ``requires`` satisfied by an
+    earlier pass's ``provides``) is validated at construction, so a broken
+    pipeline fails before any compilation starts.  :meth:`run` records one
+    :class:`~repro.compiler.report.PassTiming` per executed pass (wall time
+    plus printed-IR size delta) into ``report.pass_timings`` and stores IR
+    dumps for the passes named in ``CompileOptions.dump_ir_after``.
+    """
+
+    def __init__(self, passes: Sequence[Pass], description: Optional[str] = None):
+        self.passes = list(passes)
+        #: Human-readable pipeline description (a named pipeline, or the
+        #: joined pass list for explicit pipelines).
+        self.description = description or "+".join(p.name for p in self.passes)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def pass_names(self) -> list[str]:
+        return [p.name for p in self.passes]
+
+    def _validate(self) -> None:
+        if not self.passes:
+            raise PipelineError("a pass pipeline must contain at least one pass")
+        available = {"source"}
+        for index, pass_ in enumerate(self.passes):
+            missing = [fact for fact in pass_.requires if fact not in available]
+            if missing:
+                raise PipelineError(
+                    f"pass {pass_.name!r} (position {index}) requires "
+                    f"{missing} which no earlier pass provides; "
+                    f"pipeline order: {self.pass_names}"
+                )
+            too_late = [fact for fact in pass_.conflicts if fact in available]
+            if too_late:
+                raise PipelineError(
+                    f"pass {pass_.name!r} (position {index}) must run before "
+                    f"{too_late} is established, but an earlier pass already "
+                    f"provides it; pipeline order: {self.pass_names}"
+                )
+            available.update(pass_.provides)
+
+    # ------------------------------------------------------------------
+    def run(self, ctx: CompilationContext) -> CompilationContext:
+        dump_after = set(ctx.options.dump_ir_after or ())
+        # Each boundary size is measured once and carried forward: pass N's
+        # size_after is pass N+1's size_before (nothing runs in between).
+        size_before = _ir_size(ctx.program)
+        for pass_ in self.passes:
+            started = time.perf_counter()
+            pass_.run(ctx)
+            elapsed = time.perf_counter() - started
+            size_after = _ir_size(ctx.program)
+            ctx.report.pass_timings.append(
+                PassTiming(
+                    name=pass_.name,
+                    wall_time_s=elapsed,
+                    ir_size_before=size_before,
+                    ir_size_after=size_after,
+                )
+            )
+            if pass_.name in dump_after:
+                ctx.report.ir_dumps[pass_.name] = (
+                    to_source(ctx.program) if ctx.program is not None else ""
+                )
+            size_before = size_after
+        return ctx
+
+    def __repr__(self) -> str:
+        return f"PassManager({self.description!r}, passes={self.pass_names})"

@@ -1,0 +1,210 @@
+"""Offload-selection policies (the strategy behind the select-offload pass).
+
+The paper's compiler offloads every kernel Loop Tactics matches, with an
+optional compute-intensity threshold ("Selective Geomean").  That behaviour
+is :class:`ThresholdPolicy`, the default.  :class:`AlwaysOffload` and
+:class:`NeverOffload` are ablation strategies: they bypass the kind filter
+and the intensity heuristic entirely, so benchmarks can bound what the
+selection logic itself contributes.
+
+A policy receives the matches of one SCoP and returns the selected subset
+plus one :class:`~repro.compiler.report.KernelDecision` per match.  Custom
+policies subclass :class:`OffloadPolicy` and are either registered under a
+name (usable via ``CompileOptions.offload_policy``) or passed as an
+instance to :class:`~repro.compiler.driver.TdoCimCompiler`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Mapping, Optional, Sequence
+
+from repro.compiler.report import KernelDecision
+from repro.tactics.patterns import KernelMatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.compiler.options import CompileOptions
+    from repro.poly.scop import Scop
+
+
+def estimated_intensity(
+    match: KernelMatch,
+    size_hint: Optional[Mapping[str, int | float]],
+) -> tuple[Optional[float], Optional[str]]:
+    """MACs per crossbar-cell write, estimated from the size hint.
+
+    Returns ``(intensity, note)``: ``intensity`` is ``None`` when it cannot
+    be estimated, and ``note`` explains why when the cause is an incomplete
+    size hint (a missing loop-extent parameter), so the decision reason can
+    surface it instead of silently dropping the heuristic.
+
+    ``size_hint`` should already be a plain dict — callers convert once up
+    front rather than per ``extent()`` lookup.
+    """
+    if size_hint is None:
+        return None, None
+    hints = size_hint if isinstance(size_hint, dict) else dict(size_hint)
+    try:
+        if match.kind == "gemm":
+            macs = (
+                match.extent("i", hints)
+                * match.extent("j", hints)
+                * match.extent("k", hints)
+            )
+            writes = match.extent("i", hints) * match.extent("k", hints)
+        elif match.kind == "gemv":
+            macs = match.extent("i", hints) * match.extent("j", hints)
+            writes = macs  # every matrix element is written and used once
+        elif match.kind == "conv2d":
+            out = match.extent("i", hints) * match.extent("j", hints)
+            taps = match.extent("p", hints) * match.extent("q", hints)
+            macs = out * taps
+            writes = taps
+        else:
+            return None, None
+    except (KeyError, TypeError) as exc:
+        # An extent parameter is absent from (or non-numeric in) the size
+        # hint; anything else — a genuinely broken match — must propagate.
+        return None, f"size hint missing extent: {exc}"
+    if writes == 0:
+        return None, None
+    return macs / writes, None
+
+
+class OffloadPolicy:
+    """Strategy deciding which matched kernels are offloaded."""
+
+    name: ClassVar[str] = "<anonymous>"
+
+    def select(
+        self,
+        scop: "Scop",
+        matches: Sequence[KernelMatch],
+        options: "CompileOptions",
+        size_hint: Optional[dict[str, int | float]],
+    ) -> tuple[list[KernelMatch], list[KernelDecision]]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ThresholdPolicy(OffloadPolicy):
+    """The paper's selection: kind filter + optional intensity threshold."""
+
+    name = "threshold"
+
+    def select(self, scop, matches, options, size_hint):
+        selected: list[KernelMatch] = []
+        decisions: list[KernelDecision] = []
+        for match in matches:
+            intensity, note = estimated_intensity(match, size_hint)
+            if not options.wants_kind(match.kind):
+                decisions.append(
+                    KernelDecision(
+                        scop=scop.name,
+                        statement=match.update_stmt,
+                        kind=match.kind,
+                        offloaded=False,
+                        reason=f"kind {match.kind!r} excluded by options",
+                        estimated_macs_per_write=intensity,
+                    )
+                )
+                continue
+            if (
+                options.min_macs_per_write is not None
+                and intensity is not None
+                and intensity < options.min_macs_per_write
+            ):
+                decisions.append(
+                    KernelDecision(
+                        scop=scop.name,
+                        statement=match.update_stmt,
+                        kind=match.kind,
+                        offloaded=False,
+                        reason=(
+                            f"compute intensity {intensity:.1f} MACs/write below "
+                            f"threshold {options.min_macs_per_write:.1f}"
+                        ),
+                        estimated_macs_per_write=intensity,
+                    )
+                )
+                continue
+            reason = "pattern matched by Loop Tactics"
+            if note is not None:
+                reason = f"{reason} ({note})"
+            selected.append(match)
+            decisions.append(
+                KernelDecision(
+                    scop=scop.name,
+                    statement=match.update_stmt,
+                    kind=match.kind,
+                    offloaded=True,
+                    reason=reason,
+                    estimated_macs_per_write=intensity,
+                )
+            )
+        return selected, decisions
+
+
+class AlwaysOffload(OffloadPolicy):
+    """Ablation: offload every match, ignoring kind filter and threshold."""
+
+    name = "always"
+
+    def select(self, scop, matches, options, size_hint):
+        selected: list[KernelMatch] = []
+        decisions: list[KernelDecision] = []
+        for match in matches:
+            intensity, _ = estimated_intensity(match, size_hint)
+            selected.append(match)
+            decisions.append(
+                KernelDecision(
+                    scop=scop.name,
+                    statement=match.update_stmt,
+                    kind=match.kind,
+                    offloaded=True,
+                    reason="always-offload policy (ablation)",
+                    estimated_macs_per_write=intensity,
+                )
+            )
+        return selected, decisions
+
+
+class NeverOffload(OffloadPolicy):
+    """Ablation: keep every match on the host (detection still reported)."""
+
+    name = "never"
+
+    def select(self, scop, matches, options, size_hint):
+        decisions = [
+            KernelDecision(
+                scop=scop.name,
+                statement=match.update_stmt,
+                kind=match.kind,
+                offloaded=False,
+                reason="never-offload policy (ablation)",
+                estimated_macs_per_write=estimated_intensity(match, size_hint)[0],
+            )
+            for match in matches
+        ]
+        return [], decisions
+
+
+#: Policies selectable by name via ``CompileOptions.offload_policy``.
+POLICY_REGISTRY: dict[str, type[OffloadPolicy]] = {
+    policy.name: policy
+    for policy in (ThresholdPolicy, AlwaysOffload, NeverOffload)
+}
+
+
+def validate_policy(name: str) -> None:
+    if name not in POLICY_REGISTRY:
+        raise ValueError(
+            f"unknown offload policy {name!r}; "
+            f"available: {sorted(POLICY_REGISTRY)}"
+        )
+
+
+def resolve_policy(name: str) -> OffloadPolicy:
+    validate_policy(name)
+    return POLICY_REGISTRY[name]()

@@ -25,6 +25,33 @@ class KernelDecision:
 
 
 @dataclass
+class PassTiming:
+    """Wall time and IR delta of one compiler pass.
+
+    ``ir_size_before``/``ir_size_after`` count the lines of the printed IR
+    program around the pass (0 while no program exists yet, i.e. before the
+    parse pass ran).  A pass that only analyses leaves the size unchanged;
+    lowering and reassembly typically change it.
+    """
+
+    name: str
+    wall_time_s: float
+    ir_size_before: int = 0
+    ir_size_after: int = 0
+
+    @property
+    def ir_delta(self) -> int:
+        return self.ir_size_after - self.ir_size_before
+
+    def __str__(self) -> str:
+        delta = f"{self.ir_delta:+d}" if self.ir_delta else "±0"
+        return (
+            f"{self.name:<22s} {self.wall_time_s * 1e3:8.3f} ms   "
+            f"IR {self.ir_size_before:>4d} -> {self.ir_size_after:<4d} ({delta})"
+        )
+
+
+@dataclass
 class CompilationReport:
     """Summary of one TDO-CIM compilation."""
 
@@ -34,6 +61,14 @@ class CompilationReport:
     fusion_groups: list[list[str]] = field(default_factory=list)
     tiled_kernels: list[str] = field(default_factory=list)
     runtime_calls_emitted: list[str] = field(default_factory=list)
+    #: Per-pass instrumentation recorded by the
+    #: :class:`~repro.compiler.passes.manager.PassManager` — one entry per
+    #: executed pass, in pipeline order.  Empty for results produced by the
+    #: frozen legacy monolith (:mod:`repro.compiler.legacy`).
+    pass_timings: list[PassTiming] = field(default_factory=list)
+    #: Printed IR snapshots requested via ``CompileOptions.dump_ir_after``,
+    #: keyed by pass name.
+    ir_dumps: dict[str, str] = field(default_factory=dict)
 
     @property
     def detected_kernels(self) -> int:
@@ -56,4 +91,13 @@ class CompilationReport:
             lines.append(f"  tiled kernels:    {self.tiled_kernels}")
         for decision in self.decisions:
             lines.append(f"    - {decision}")
+        return "\n".join(lines)
+
+    def timing_summary(self) -> str:
+        """Per-pass wall-time / IR-delta table (empty string if none)."""
+        if not self.pass_timings:
+            return ""
+        total = sum(t.wall_time_s for t in self.pass_timings)
+        lines = [f"pass pipeline for {self.program!r} ({total * 1e3:.3f} ms total):"]
+        lines.extend(f"  {timing}" for timing in self.pass_timings)
         return "\n".join(lines)

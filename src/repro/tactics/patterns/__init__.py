@@ -15,13 +15,19 @@ involved, the loop dimensions and their extents, the operand arrays,
 transpose flags, and scaling factors.
 """
 
+from typing import TYPE_CHECKING
+
 from repro.tactics.patterns.base import KernelMatch
 from repro.tactics.patterns.gemm import GemmMatch, find_gemm_kernels
 from repro.tactics.patterns.gemv import GemvMatch, find_gemv_kernels
 from repro.tactics.patterns.conv import Conv2DMatch, find_conv2d_kernels
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.poly.schedule_tree import DomainNode
+    from repro.poly.scop import Scop
 
-def find_all_kernels(scop, tree):
+
+def find_all_kernels(scop: "Scop", tree: "DomainNode") -> list[KernelMatch]:
     """Run every pattern finder; GEMM matches shadow GEMV/conv on the same
     statements (a statement is claimed by at most one match)."""
     matches: list[KernelMatch] = []

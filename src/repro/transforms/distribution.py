@@ -116,7 +116,7 @@ def _bands_between(root: ScheduleNode, leaf: ScheduleNode) -> list[BandNode]:
     return path
 
 
-def isolate_match(tree: DomainNode, match: KernelMatch, max_steps: int = 16) -> bool:
+def isolate_match(tree: DomainNode, match: KernelMatch, *, max_steps: int = 16) -> bool:
     """Distribute loops until *match* owns a complete loop nest.
 
     Returns True when the match's subtree root now contains every band of

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Print the resolved pass pipeline and per-pass timings for a source file.
+
+Resolves a pipeline description (a named pipeline or an explicit
+comma-separated pass list) against the pass registry, compiles the given
+mini-C file (or a built-in PolyBench kernel via ``--kernel``), and prints
+the pass list, the per-pass wall-time / IR-delta table recorded by the
+pass manager, and the compiler's decision summary.
+
+Usage::
+
+    PYTHONPATH=src python tools/dump_pipeline.py path/to/kernel.c
+    PYTHONPATH=src python tools/dump_pipeline.py --kernel gemm --pipeline no-fusion
+    PYTHONPATH=src python tools/dump_pipeline.py --kernel 2mm \\
+        --pipeline parse,normalize-reductions,detect-scops \\
+        --size-hint NI=64 --size-hint NJ=64
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+# Allow running without PYTHONPATH=src.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.compiler import CompileOptions, PipelineError, TdoCimCompiler  # noqa: E402
+from repro.compiler.passes import (  # noqa: E402
+    NAMED_PIPELINES,
+    PASS_REGISTRY,
+    resolve_pass_names,
+)
+
+
+def parse_size_hints(pairs: list[str]) -> dict[str, float] | None:
+    if not pairs:
+        return None
+    hints: dict[str, float] = {}
+    for pair in pairs:
+        name, _, value = pair.partition("=")
+        if not _:
+            raise SystemExit(f"--size-hint expects NAME=VALUE, got {pair!r}")
+        hints[name] = float(value)
+    return hints
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("source", nargs="?", help="mini-C source file")
+    parser.add_argument(
+        "--kernel", help="built-in PolyBench kernel name instead of a file"
+    )
+    parser.add_argument(
+        "--pipeline",
+        default="default",
+        help="named pipeline or comma-separated pass list "
+        f"(named: {', '.join(sorted(NAMED_PIPELINES))})",
+    )
+    parser.add_argument(
+        "--policy",
+        default="threshold",
+        help="offload policy: threshold (default), always, never",
+    )
+    parser.add_argument(
+        "--size-hint",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help="problem-size parameter for the intensity heuristic (repeatable)",
+    )
+    parser.add_argument(
+        "--list-passes", action="store_true", help="list registered passes and exit"
+    )
+    args = parser.parse_args()
+
+    if args.list_passes:
+        print("registered passes:")
+        for name, cls in sorted(PASS_REGISTRY.items()):
+            print(f"  {name:<22s} requires={list(cls.requires)} "
+                  f"provides={list(cls.provides)}")
+        print("\nnamed pipelines:")
+        for name, passes in NAMED_PIPELINES.items():
+            print(f"  {name:<12s} = {' -> '.join(passes)}")
+        return 0
+
+    pipeline: str | list[str] = args.pipeline
+    if "," in pipeline:
+        pipeline = [name.strip() for name in pipeline.split(",") if name.strip()]
+
+    if args.kernel:
+        from repro.workloads import get_kernel
+
+        source = get_kernel(args.kernel).source
+        label = f"polybench:{args.kernel}"
+    elif args.source:
+        source = Path(args.source).read_text()
+        label = args.source
+    else:
+        parser.error("give a source file or --kernel NAME")
+
+    try:
+        names = resolve_pass_names(pipeline)
+        options = CompileOptions(
+            pipeline=pipeline,
+            offload_policy=args.policy,
+            enable_compile_cache=False,
+        )
+    except (PipelineError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    print(f"pipeline {args.pipeline!r} for {label}:")
+    print("  " + " -> ".join(names))
+    print()
+
+    try:
+        result = TdoCimCompiler(options).compile(
+            source, size_hint=parse_size_hints(args.size_hint)
+        )
+    except PipelineError as exc:  # bad ordering is caught at pipeline build
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(result.report.timing_summary())
+    print()
+    print(result.report.summary())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
