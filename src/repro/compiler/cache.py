@@ -22,6 +22,7 @@ import hashlib
 import os
 import pickle
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import fields
 from pathlib import Path
@@ -70,6 +71,15 @@ class KernelCompileCache:
     pickled to ``<disk_dir>/<key>.pkl`` and in-memory misses fall back to
     disk; disk I/O failures (unpicklable results, read-only filesystems,
     corrupt files) silently degrade to a miss, never an error.
+
+    The cache is safe for concurrent use from multiple threads: one
+    re-entrant lock serialises the LRU mutation and the hit/miss
+    statistics (the serving layer shares a single cache between its
+    submission path and any caller threads).  Disk I/O deliberately runs
+    *outside* the lock — it can be slow — and relies on the atomic
+    temp-file + rename protocol of :meth:`_disk_store` instead.  Entries
+    are content-addressed, so two threads racing to ``put`` the same key
+    store equivalent results and either may win.
     """
 
     def __init__(self, capacity: int = 128, disk_dir: Optional[Union[str, Path]] = None):
@@ -78,44 +88,54 @@ class KernelCompileCache:
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
         self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._entries:
-            return True
+        with self._lock:
+            if key in self._entries:
+                return True
         path = self._disk_path(key)
         return path is not None and path.exists()
 
     def get(self, key: str):
         """Return the cached result for *key*, or ``None`` on a miss."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return self._entries[key]
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+        # Disk I/O happens outside the lock (it can be slow); the insert
+        # below re-acquires it.  A concurrent put of the same key is
+        # harmless: content addressing makes both values equivalent.
         result = self._disk_load(key)
-        if result is not None:
-            self._insert(key, result)
-            self.hits += 1
-            return result
-        self.misses += 1
-        return None
+        with self._lock:
+            if result is not None:
+                self._insert(key, result)
+                self.hits += 1
+                return result
+            self.misses += 1
+            return None
 
     def put(self, key: str, result) -> None:
         """Store *result* under *key* (in memory, and on disk if enabled)."""
-        self._insert(key, result)
+        with self._lock:
+            self._insert(key, result)
         self._disk_store(key, result)
 
     def clear(self) -> None:
         """Drop the in-memory entries and hit/miss statistics (disk files,
         if any, are kept — they are content-addressed and never stale)."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
 
     # ------------------------------------------------------------------
     def _insert(self, key: str, result) -> None:
@@ -165,10 +185,11 @@ class KernelCompileCache:
             return None
 
     def __repr__(self) -> str:
-        return (
-            f"KernelCompileCache(entries={len(self._entries)}/{self.capacity}, "
-            f"hits={self.hits}, misses={self.misses}, disk={self.disk_dir})"
-        )
+        with self._lock:
+            return (
+                f"KernelCompileCache(entries={len(self._entries)}/{self.capacity}, "
+                f"hits={self.hits}, misses={self.misses}, disk={self.disk_dir})"
+            )
 
 
 #: Process-wide default cache used by :class:`TdoCimCompiler` when caching

@@ -10,9 +10,6 @@ work (Figure 2 (d): "Prepare data in shared memory").
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional
-
 import numpy as np
 
 from repro.driver.driver import CimDriver
@@ -21,19 +18,34 @@ from repro.runtime.handles import DeviceBuffer
 
 
 class CimRuntime:
-    """User-space runtime for one CIM device."""
+    """User-space runtime for one CIM device.
+
+    The runtime is also a context manager: entering initialises the
+    device, leaving calls :meth:`cim_shutdown`, so long-lived callers
+    (e.g. the serving layer) cannot leak device buffers across sessions::
+
+        with CimRuntime(driver) as runtime:
+            buffer = runtime.cim_malloc(1024)
+            ...
+        # all outstanding buffers released here
+    """
 
     def __init__(self, driver: CimDriver):
         self.driver = driver
         self._initialised_devices: set[int] = set()
         self._buffers: dict[int, DeviceBuffer] = {}
-        self._handle_counter = itertools.count(1)
+        # Handles are issued from a monotonic counter, so "issued but not
+        # live" identifies a double free without keeping per-handle state
+        # (long-lived serving runs free millions of buffers).
+        self._last_issued_handle = 0
+        self._shut_down = False
 
     # ------------------------------------------------------------------
-    # polly_cimInit
+    # polly_cimInit / polly_cimShutdown
     # ------------------------------------------------------------------
     def cim_init(self, device: int = 0) -> None:
         """Initialise (open) the CIM device.  Idempotent per device."""
+        self._require_not_shut_down()
         if device != 0:
             raise CimRuntimeError(f"no CIM device {device} in the emulated system")
         if device in self._initialised_devices:
@@ -41,7 +53,35 @@ class CimRuntime:
         self.driver.open()
         self._initialised_devices.add(device)
 
+    def cim_shutdown(self) -> None:
+        """Tear the runtime down: release every outstanding
+        :class:`DeviceBuffer` and close the session.  Idempotent; any API
+        call other than another ``cim_shutdown`` afterwards raises a
+        :class:`CimRuntimeError`."""
+        if self._shut_down:
+            return
+        if self._initialised_devices:
+            self.free_all()
+        self._initialised_devices.clear()
+        self._shut_down = True
+
+    @property
+    def closed(self) -> bool:
+        return self._shut_down
+
+    def __enter__(self) -> "CimRuntime":
+        self.cim_init()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.cim_shutdown()
+
+    def _require_not_shut_down(self) -> None:
+        if self._shut_down:
+            raise CimRuntimeError("CIM runtime has been shut down")
+
     def _require_init(self) -> None:
+        self._require_not_shut_down()
         if not self._initialised_devices:
             raise CimRuntimeError("cim_init() must be called before any other API")
 
@@ -61,8 +101,9 @@ class CimRuntime:
         if size <= 0:
             raise CimRuntimeError("cim_malloc size must be positive")
         virtual, physical = self.driver.alloc(size)
+        self._last_issued_handle += 1
         buffer = DeviceBuffer(
-            handle=next(self._handle_counter),
+            handle=self._last_issued_handle,
             virtual=virtual,
             physical=physical,
             size=self.driver.buffer_size(virtual),
@@ -73,9 +114,22 @@ class CimRuntime:
     def cim_free(self, buffer: DeviceBuffer) -> None:
         self._require_init()
         if buffer.handle not in self._buffers:
-            raise CimRuntimeError(f"double free or unknown buffer {buffer.handle}")
-        del self._buffers[buffer.handle]
+            # Distinguish a double free from a handle this runtime never
+            # issued; neither may touch the handle table.
+            if 0 < buffer.handle <= self._last_issued_handle:
+                raise CimRuntimeError(
+                    f"double free of buffer {buffer.handle} (already released)"
+                )
+            raise CimRuntimeError(f"unknown buffer {buffer.handle}")
+        if self._buffers[buffer.handle] is not buffer:
+            raise CimRuntimeError(
+                f"buffer object does not match live handle {buffer.handle}"
+            )
+        # Release driver-side state first: if the driver rejects the free,
+        # the handle table is left untouched instead of silently dropping
+        # a still-allocated buffer.
         self.driver.free(buffer.virtual)
+        del self._buffers[buffer.handle]
 
     def free_all(self) -> None:
         """Release every live buffer (used by program epilogues and tests)."""

@@ -1,0 +1,118 @@
+"""Threaded stress tests for :class:`KernelCompileCache` (PR 4 satellite).
+
+The serving layer shares one compile cache between its submission path and
+arbitrary caller threads, so the LRU bookkeeping, the statistics and the
+on-disk persistence must tolerate concurrent use without corruption.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.compiler import CompileOptions, KernelCompileCache, compile_fingerprint
+from repro.compiler.driver import TdoCimCompiler
+from repro.workloads import get_kernel
+
+
+def _hammer(cache: KernelCompileCache, keys: list[str], rounds: int, errors: list):
+    try:
+        for round_no in range(rounds):
+            for key in keys:
+                value = cache.get(key)
+                if value is None:
+                    cache.put(key, ("payload", key))
+                else:
+                    # A cached entry must always be the one stored under
+                    # its own key — any cross-talk is corruption.
+                    assert value == ("payload", key)
+            len(cache)
+            repr(cache)
+            if round_no % 7 == 0:
+                key = keys[round_no % len(keys)]
+                key in cache  # noqa: B015 - exercising __contains__ under load
+    except Exception as exc:  # pragma: no cover - only on corruption
+        errors.append(exc)
+
+
+@pytest.mark.parametrize("capacity", [4, 64])
+def test_threaded_stress_in_memory(capacity):
+    cache = KernelCompileCache(capacity=capacity)
+    keys = [f"key-{i:02d}" for i in range(16)]
+    errors: list = []
+    threads = [
+        threading.Thread(target=_hammer, args=(cache, keys, 50, errors))
+        for _ in range(8)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(cache) <= capacity
+    # Every lookup was either a hit or a miss; the counters never tear.
+    total_gets = 8 * 50 * len(keys)
+    assert cache.hits + cache.misses == total_gets
+    for key in keys:
+        value = cache.get(key)
+        if value is not None:
+            assert value == ("payload", key)
+
+
+def test_threaded_stress_with_disk_persistence(tmp_path):
+    cache = KernelCompileCache(capacity=8, disk_dir=tmp_path)
+    keys = [f"disk-key-{i:02d}" for i in range(12)]
+    errors: list = []
+    threads = [
+        threading.Thread(target=_hammer, args=(cache, keys, 25, errors))
+        for _ in range(6)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    # Everything ever stored is recoverable from disk through a fresh
+    # cache (atomic tmp-file + rename: no torn pickles).
+    fresh = KernelCompileCache(capacity=32, disk_dir=tmp_path)
+    for key in keys:
+        value = fresh.get(key)
+        assert value == ("payload", key)
+
+
+def test_concurrent_compiles_share_one_cache():
+    """Racing real compiles of the same kernel through one shared cache is
+    safe and yields the canonical cached result for every thread."""
+    kernel = get_kernel("mvt")
+    params = kernel.params("MINI")
+    cache = KernelCompileCache()
+    options = CompileOptions()
+    results: list = [None] * 6
+    errors: list = []
+
+    def compile_one(slot: int):
+        try:
+            compiler = TdoCimCompiler(options, cache=cache)
+            results[slot] = compiler.compile(kernel.source, size_hint=params)
+        except Exception as exc:  # pragma: no cover - only on corruption
+            errors.append(exc)
+
+    threads = [threading.Thread(target=compile_one, args=(i,)) for i in range(6)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert all(result is not None for result in results)
+    key = compile_fingerprint(kernel.source, options, params)
+    canonical = cache.get(key)
+    assert canonical is not None
+    # After the race settles, the cache serves one canonical object and
+    # every compiled program is equivalent to it.
+    from repro.ir.printer import to_source
+
+    reference = to_source(canonical.program)
+    for result in results:
+        assert to_source(result.program) == reference
+    assert len(cache) == 1

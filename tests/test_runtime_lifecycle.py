@@ -1,0 +1,120 @@
+"""Regression tests for the CIM runtime lifecycle (PR 4 satellite).
+
+Covers ``cim_shutdown``, the context-manager protocol, and the exact
+failure modes of ``cim_free`` (double free vs unknown handle vs stale
+object) — all of which the serving layer relies on to recycle device
+buffers between tenant requests without corrupting the handle table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.driver.driver import DriverError
+from repro.runtime.errors import CimRuntimeError
+from repro.system import CimSystem
+
+
+@pytest.fixture
+def runtime():
+    system = CimSystem()
+    system.runtime.cim_init()
+    return system.runtime
+
+
+def test_shutdown_releases_outstanding_buffers(runtime):
+    buffers = [runtime.cim_malloc(256) for _ in range(4)]
+    assert runtime.live_buffers == 4
+    runtime.cim_shutdown()
+    assert runtime.live_buffers == 0
+    assert runtime.closed
+    # The driver-side CMA region is fully coalesced again.
+    assert runtime.driver.cma.live_allocations == 0
+    # The released buffers are genuinely gone: the driver rejects them.
+    with pytest.raises(DriverError):
+        runtime.driver.buffer_size(buffers[0].virtual)
+
+
+def test_shutdown_is_idempotent(runtime):
+    runtime.cim_malloc(64)
+    runtime.cim_shutdown()
+    runtime.cim_shutdown()
+    assert runtime.closed
+
+
+def test_api_after_shutdown_raises(runtime):
+    buffer = runtime.cim_malloc(64)
+    runtime.cim_shutdown()
+    with pytest.raises(CimRuntimeError, match="shut down"):
+        runtime.cim_malloc(64)
+    with pytest.raises(CimRuntimeError, match="shut down"):
+        runtime.cim_free(buffer)
+    with pytest.raises(CimRuntimeError, match="shut down"):
+        runtime.cim_init()
+
+
+def test_context_manager_initialises_and_shuts_down():
+    system = CimSystem()
+    with system.runtime as runtime:
+        buffer = runtime.cim_malloc(128)
+        assert buffer.size >= 128
+        assert runtime.live_buffers == 1
+    assert system.runtime.closed
+    assert system.runtime.live_buffers == 0
+
+
+def test_context_manager_releases_on_exception():
+    system = CimSystem()
+    with pytest.raises(RuntimeError, match="boom"):
+        with system.runtime as runtime:
+            runtime.cim_malloc(128)
+            raise RuntimeError("boom")
+    assert system.runtime.closed
+    assert system.runtime.live_buffers == 0
+
+
+def test_double_free_raises_clear_error(runtime):
+    buffer = runtime.cim_malloc(64)
+    runtime.cim_free(buffer)
+    with pytest.raises(CimRuntimeError, match="double free of buffer"):
+        runtime.cim_free(buffer)
+
+
+def test_double_free_does_not_corrupt_handle_table(runtime):
+    first = runtime.cim_malloc(64)
+    second = runtime.cim_malloc(64)
+    runtime.cim_free(first)
+    with pytest.raises(CimRuntimeError, match="double free"):
+        runtime.cim_free(first)
+    # The surviving buffer is untouched and still usable.
+    assert runtime.live_buffers == 1
+    assert runtime.buffer(second.handle) is second
+    runtime.cim_free(second)
+    assert runtime.live_buffers == 0
+
+
+def test_free_of_foreign_buffer_reports_unknown(runtime):
+    other_system = CimSystem()
+    other_system.runtime.cim_init()
+    foreign = other_system.runtime.cim_malloc(64)
+    # A handle this runtime never issued is "unknown", not a double free.
+    with pytest.raises(CimRuntimeError, match="unknown buffer"):
+        runtime.cim_free(foreign)
+
+
+def test_free_all_then_double_free(runtime):
+    buffer = runtime.cim_malloc(64)
+    runtime.free_all()
+    with pytest.raises(CimRuntimeError, match="double free"):
+        runtime.cim_free(buffer)
+
+
+def test_freed_addresses_are_recycled_deterministically(runtime):
+    """Back-to-back alloc/free cycles land on identical addresses — the
+    property the serving layer's crossbar-residency reuse depends on."""
+    layout = []
+    for _ in range(3):
+        buffers = [runtime.cim_malloc(n) for n in (4096, 256, 128)]
+        layout.append(tuple(b.physical for b in buffers))
+        runtime.free_all()
+    assert layout[0] == layout[1] == layout[2]
