@@ -1,0 +1,285 @@
+"""Serving-throughput benchmark (PR 4 trajectory point).
+
+Measures the multi-tenant serving layer against serialized single-request
+execution on a GEMV-heavy inference-style load: four tenants stream GEMV
+requests against one shared model matrix.  For each tile count and
+offered-load factor the benchmark reports the achieved request throughput
+(simulated requests/second), the dynamic-batching occupancy and the
+latency percentiles, and verifies the serving layer's two hard
+guarantees:
+
+* every response is bit-identical to a direct
+  :class:`~repro.codegen.executor.OffloadExecutor` run of the same
+  program, and
+* per-tenant energy/wear accounting partitions the device totals exactly
+  (integer wear counters by ``==``, energy to float precision against the
+  accelerator ledger).
+
+The acceptance gate asserts that dynamic batching reaches at least 2x the
+serialized throughput at 4 tiles.  Results go to ``BENCH_PR4.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py           # full
+    PYTHONPATH=src python benchmarks/bench_serving_throughput.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro import (
+    CimServer,
+    CimSystem,
+    OffloadExecutor,
+    ServerConfig,
+    SystemConfig,
+    compile_source,
+)
+from repro.eval import tenant_usage_rows
+
+GEMV_SOURCE = """
+void gemv(int M, int N, float A[M][N], float x[N], float y[M]) {
+  for (int i = 0; i < M; i++) {
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      y[i] += A[i][j] * x[j];
+  }
+}
+"""
+
+TENANTS = ("alpha", "beta", "gamma", "delta")
+TILE_COUNTS = (1, 2, 4)
+LOAD_FACTORS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+#: (matrix side, request count) — the matrix fits one crossbar block, so
+#: the serialized baseline pays a full programming per request while the
+#: batcher pays one per lease.
+FULL_SETUP = (128, 48)
+SMOKE_SETUP = (32, 12)
+
+
+def make_requests(side: int, count: int) -> list[tuple[str, dict]]:
+    """The request trace: four tenants round-robin on one shared model."""
+    rng = np.random.default_rng(2020)
+    model = rng.random((side, side), dtype=np.float32)
+    trace = []
+    for index in range(count):
+        tenant = TENANTS[index % len(TENANTS)]
+        arrays = {
+            "A": model,
+            "x": rng.random(side, dtype=np.float32),
+            "y": np.zeros(side, dtype=np.float32),
+        }
+        trace.append((tenant, arrays))
+    return trace
+
+
+def serialized_baseline(
+    side: int, trace: list[tuple[str, dict]], tiles: int
+) -> tuple[float, list[dict]]:
+    """Serialized single-request execution: every request is a fresh,
+    cold-crossbar `OffloadExecutor.run` (the pre-serving deployment model:
+    one host program per caller).  Returns (throughput, reference outputs)."""
+    params = {"M": side, "N": side}
+    compiled = compile_source(GEMV_SOURCE, size_hint=params)
+    total_s = 0.0
+    references = []
+    for _tenant, arrays in trace:
+        system = CimSystem(SystemConfig(num_tiles=tiles))
+        executor = OffloadExecutor(system)
+        outputs, report = executor.run(
+            compiled, params, {name: value.copy() for name, value in arrays.items()}
+        )
+        total_s += report.total_time_s
+        references.append(outputs)
+    return len(trace) / total_s, references
+
+
+def run_server(
+    side: int,
+    trace: list[tuple[str, dict]],
+    tiles: int,
+    offered_rps: float,
+    references: list[dict],
+) -> dict:
+    """One serving run at a fixed offered load; returns the result row."""
+    params = {"M": side, "N": side}
+    config = ServerConfig(
+        num_tiles=tiles,
+        batch_window_s=250e-6,
+        max_batch_size=16,
+    )
+    spacing_s = 1.0 / offered_rps
+    with CimServer(config) as server:
+        handles = []
+        for index, (tenant, arrays) in enumerate(trace):
+            handles.append(
+                server.submit(
+                    tenant,
+                    GEMV_SOURCE,
+                    params,
+                    arrays,
+                    arrival_s=index * spacing_s,
+                )
+            )
+        snapshot = server.drain()
+
+        # --- hard guarantee 1: bit-identical responses ----------------
+        mismatches = 0
+        for handle, reference in zip(handles, references):
+            served = handle.result()
+            for name in reference:
+                if not np.array_equal(reference[name], served[name]):
+                    mismatches += 1
+        # --- hard guarantee 2: exact accounting partition -------------
+        partition = server.ledger.verify_partition(server.system.accelerator)
+        tenant_wear = sum(
+            account.wear_bytes for account in server.ledger.tenants.values()
+        )
+        wear_exact = tenant_wear == server.system.accelerator.total_cell_writes()
+        tenant_energy = math.fsum(
+            usage.energy_j for usage in server.ledger.all_usages()
+        )
+        device_energy = server.ledger.device_energy_j
+        energy_exact = math.isclose(
+            tenant_energy + server.ledger.housekeeping_energy_j,
+            device_energy,
+            rel_tol=1e-12,
+            abs_tol=1e-24,
+        )
+
+        makespan_s = server.clock.now_s - handles[0].arrival_s
+        achieved_rps = len(handles) / makespan_s
+        return {
+            "tiles": tiles,
+            "offered_rps": round(offered_rps, 1),
+            "achieved_rps": round(achieved_rps, 1),
+            "makespan_s": makespan_s,
+            "mean_batch_occupancy": snapshot["batching"]["mean_occupancy"],
+            "batches": snapshot["batching"]["batches"],
+            "p50_latency_s": snapshot["latency_s"]["p50"],
+            "p99_latency_s": snapshot["latency_s"]["p99"],
+            "compile_cache_hit_rate": snapshot["compile_cache"]["hit_rate"],
+            "bit_identical": mismatches == 0,
+            "accounting_exact": bool(
+                all(partition.values()) and wear_exact and energy_exact
+            ),
+            "tenant_rows": [
+                {
+                    "tenant": row.tenant,
+                    "completed": row.completed,
+                    "energy_j": row.energy_j,
+                    "wear_bytes": row.wear_bytes,
+                    "implied_lifetime_years": (
+                        row.implied_lifetime_years
+                        if row.implied_lifetime_years != float("inf")
+                        else None
+                    ),
+                }
+                for row in tenant_usage_rows(server)
+            ],
+        }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    side, count = SMOKE_SETUP if smoke else FULL_SETUP
+    trace = make_requests(side, count)
+    results = []
+    speedup_at_4_tiles = 0.0
+    for tiles in TILE_COUNTS:
+        baseline_rps, references = serialized_baseline(side, trace, tiles)
+        print(
+            f"tiles={tiles}: serialized baseline "
+            f"{baseline_rps:10.1f} req/s (cold crossbar per request)"
+        )
+        for factor in LOAD_FACTORS:
+            row = run_server(
+                side, trace, tiles, offered_rps=factor * baseline_rps,
+                references=references,
+            )
+            row["load_factor"] = factor
+            row["serialized_rps"] = round(baseline_rps, 1)
+            row["speedup_vs_serialized"] = round(
+                row["achieved_rps"] / baseline_rps, 2
+            )
+            results.append(row)
+            if tiles == 4:
+                speedup_at_4_tiles = max(
+                    speedup_at_4_tiles, row["speedup_vs_serialized"]
+                )
+            print(
+                f"  load {factor:4.1f}x -> {row['achieved_rps']:10.1f} req/s "
+                f"({row['speedup_vs_serialized']:5.2f}x), occupancy "
+                f"{row['mean_batch_occupancy']:5.2f}, p99 "
+                f"{row['p99_latency_s'] * 1e6:8.1f}us, "
+                f"bit-identical={row['bit_identical']}, "
+                f"accounting-exact={row['accounting_exact']}"
+            )
+    return {
+        "benchmark": "serving_throughput",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "matrix_side": side,
+        "requests": count,
+        "tenants": list(TENANTS),
+        "tile_counts": list(TILE_COUNTS),
+        "load_factors": list(LOAD_FACTORS),
+        "speedup_at_4_tiles": speedup_at_4_tiles,
+        "results": results,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR4.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    for row in payload["results"]:
+        if not row["bit_identical"]:
+            failures.append(
+                f"tiles={row['tiles']} load={row['load_factor']}: responses "
+                "diverged from direct OffloadExecutor runs"
+            )
+        if not row["accounting_exact"]:
+            failures.append(
+                f"tiles={row['tiles']} load={row['load_factor']}: tenant "
+                "accounting does not sum to the device totals"
+            )
+    # The 2x acceptance gate applies to the full-size run; the smoke run
+    # (tiny matrices, so fixed per-request driver costs dominate) only
+    # sanity-checks that batching helps at all.
+    required_speedup = 1.2 if payload["mode"] == "smoke" else 2.0
+    if payload["speedup_at_4_tiles"] < required_speedup:
+        failures.append(
+            f"dynamic batching reached only {payload['speedup_at_4_tiles']}x "
+            f"the serialized throughput at 4 tiles "
+            f"(>= {required_speedup}x required)"
+        )
+    assert not failures, "; ".join(failures)
+    print(
+        f"all serving acceptance checks passed "
+        f"(speedup at 4 tiles: {payload['speedup_at_4_tiles']}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -29,9 +29,10 @@ from repro.compiler import (
 )
 from repro.codegen import OffloadExecutor, ExecutionReport
 from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
+from repro.serve import CimServer, ServerConfig, TenantQuota
 from repro.system import CimSystem, SystemConfig
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompileOptions",
@@ -42,6 +43,9 @@ __all__ = [
     "compile_source",
     "OffloadExecutor",
     "ExecutionReport",
+    "CimServer",
+    "ServerConfig",
+    "TenantQuota",
     "CimSystem",
     "SystemConfig",
     "ENGINE_MODES",

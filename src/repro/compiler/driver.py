@@ -47,6 +47,11 @@ class CompilationResult:
     #: The options this result was compiled with.  The executor reads the
     #: ``engine`` choice from here when a result is passed to ``run``.
     options: Optional[CompileOptions] = None
+    #: Content fingerprint this result was cached under (``None`` when
+    #: compiled with caching disabled).  Lets downstream consumers (e.g.
+    #: the serving layer's batch signatures) reuse the hash instead of
+    #: recomputing it per request.
+    cache_key: Optional[str] = None
 
     @property
     def offloaded(self) -> bool:
@@ -151,6 +156,7 @@ def _result_from_context(ctx: CompilationContext) -> CompilationResult:
         matches=ctx.matches,
         mappings=ctx.mappings,
         options=ctx.options,
+        cache_key=ctx.cache_key,
     )
 
 

@@ -6,6 +6,8 @@
 * :mod:`repro.eval.lifetime` — the Figure 5 endurance/lifetime study (naive
   vs smart mapping of the Listing 2 fused kernels).
 * :mod:`repro.eval.tables` — Table I rendering and ASCII report formatting.
+* :mod:`repro.eval.tenants` — per-tenant serving bills (energy, wear as
+  Eq. 1 device lifetime, latency percentiles) for :class:`CimServer` runs.
 """
 
 from repro.eval.metrics import geometric_mean, improvement_factor, edp
@@ -18,6 +20,11 @@ from repro.eval.experiments import (
 )
 from repro.eval.lifetime import Figure5Data, figure5, figure5_simulated
 from repro.eval.tables import table1_rows, format_table, format_figure6, format_figure5
+from repro.eval.tenants import (
+    TenantUsageRow,
+    format_tenant_table,
+    tenant_usage_rows,
+)
 
 __all__ = [
     "geometric_mean",
@@ -35,4 +42,7 @@ __all__ = [
     "format_table",
     "format_figure6",
     "format_figure5",
+    "TenantUsageRow",
+    "format_tenant_table",
+    "tenant_usage_rows",
 ]

@@ -1,0 +1,92 @@
+"""Per-tenant serving statistics in the paper's evaluation currency.
+
+Folds a :class:`~repro.serve.server.CimServer`'s accounting ledger into
+rows that speak the evaluation's language: energy, wear expressed through
+the Eq. 1 lifetime model of :mod:`repro.hw.endurance`, and latency
+percentiles.  The rows let a tenant bill ("you cost us X joules and Y
+years of device life") be read straight off a serving run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.metrics import percentile
+
+#: Figure 5's mid-range PCM cell endurance (writes) — the default scale
+#: on which tenant wear is expressed as device lifetime.
+DEFAULT_CELL_ENDURANCE_WRITES = 25e6
+
+
+@dataclass(frozen=True)
+class TenantUsageRow:
+    """One tenant's serving bill."""
+
+    tenant: str
+    completed: int
+    rejected: int
+    energy_j: float
+    wear_bytes: int
+    wear_share: float               # fraction of the device's total wear
+    p50_latency_s: Optional[float]
+    p99_latency_s: Optional[float]
+    #: Device lifetime (years) if the crossbar saw only this tenant's
+    #: write traffic, averaged over the full serving run.
+    implied_lifetime_years: float
+
+
+def tenant_usage_rows(
+    server,
+    cell_endurance_writes: float = DEFAULT_CELL_ENDURANCE_WRITES,
+) -> list[TenantUsageRow]:
+    """Per-tenant rows of *server*'s ledger (sorted by tenant name)."""
+    ledger = server.ledger
+    elapsed_s = server.clock.now_s
+    device_wear = ledger.device_wear_bytes
+    rows = []
+    for tenant in sorted(ledger.tenants):
+        account = ledger.tenants[tenant]
+        latencies = account.latencies_s()
+        rows.append(
+            TenantUsageRow(
+                tenant=tenant,
+                completed=account.completed,
+                rejected=account.rejected,
+                energy_j=account.energy_j,
+                wear_bytes=account.wear_bytes,
+                wear_share=(
+                    account.wear_bytes / device_wear if device_wear else 0.0
+                ),
+                p50_latency_s=percentile(latencies, 50) if latencies else None,
+                p99_latency_s=percentile(latencies, 99) if latencies else None,
+                implied_lifetime_years=account.implied_lifetime_years(
+                    cell_endurance_writes,
+                    ledger.crossbar_size_bytes,
+                    elapsed_s=elapsed_s if elapsed_s > 0 else None,
+                ),
+            )
+        )
+    return rows
+
+
+def format_tenant_table(rows: list[TenantUsageRow]) -> str:
+    """ASCII rendering of the per-tenant bills."""
+    header = (
+        f"{'tenant':<12} {'done':>5} {'rej':>4} {'energy [J]':>12} "
+        f"{'wear [B]':>10} {'share':>6} {'p99 lat [s]':>12} {'lifetime [y]':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        p99 = f"{row.p99_latency_s:.3e}" if row.p99_latency_s is not None else "-"
+        lifetime = (
+            "inf"
+            if row.implied_lifetime_years == float("inf")
+            else f"{row.implied_lifetime_years:.3f}"
+        )
+        lines.append(
+            f"{row.tenant:<12} {row.completed:>5} {row.rejected:>4} "
+            f"{row.energy_j:>12.3e} {row.wear_bytes:>10} "
+            f"{row.wear_share:>6.2f} {p99:>12} {lifetime:>13}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Multi-tenant CIM serving layer.
+
+Accepts offload requests from many logical tenants and drives the
+compiler + runtime + emulated-hardware stack under one simulated clock:
+dynamic request batching onto crossbar leases, admission control with
+bounded queues and lifetime-denominated quotas, weighted fair-share
+scheduling, per-tenant accounting that reconciles exactly with the
+device ledgers, and a serving metrics registry.  See
+:class:`~repro.serve.server.CimServer` and ``docs/serving.md``.
+"""
+
+from repro.serve.accounting import AccountingLedger, RequestUsage, TenantAccount
+from repro.serve.admission import AdmissionController, TenantQuota
+from repro.serve.batcher import (
+    DynamicBatcher,
+    FusedGemvPlan,
+    batch_signature,
+    extract_fused_gemv_plan,
+    stationary_operand_arrays,
+)
+from repro.serve.clock import VirtualClock
+from repro.serve.errors import AdmissionError, ServeError
+from repro.serve.metrics import MetricsRegistry, percentile
+from repro.serve.request import RequestHandle, RequestStatus, TenantRequest
+from repro.serve.server import CimServer, ServerConfig
+
+__all__ = [
+    "AccountingLedger",
+    "AdmissionController",
+    "AdmissionError",
+    "CimServer",
+    "DynamicBatcher",
+    "FusedGemvPlan",
+    "MetricsRegistry",
+    "RequestHandle",
+    "RequestStatus",
+    "RequestUsage",
+    "ServeError",
+    "ServerConfig",
+    "TenantAccount",
+    "TenantQuota",
+    "TenantRequest",
+    "VirtualClock",
+    "batch_signature",
+    "extract_fused_gemv_plan",
+    "percentile",
+    "stationary_operand_arrays",
+]

@@ -1,0 +1,229 @@
+"""Per-tenant accounting: latency, energy and crossbar wear.
+
+Every dispatched request produces one :class:`RequestUsage` record, built
+from the same measured deltas (driver ledger, accelerator run stats) that
+the :class:`~repro.codegen.executor.ExecutionReport` is built from.  The
+records *partition* the device's activity: each accelerator run, each
+charged host instruction and each programmed crossbar cell belongs to
+exactly one request, so per-tenant sums reconcile exactly with the device
+totals — integer wear counters by ``==``, energy roll-ups via
+:func:`math.fsum` (correctly rounded, hence order-independent over the
+same records).
+
+Wear is expressed in bytes written to the crossbar (one byte per
+programmed 8-bit cell, the same convention as
+:mod:`repro.eval.lifetime`), which plugs straight into the Eq. 1 lifetime
+model of :mod:`repro.hw.endurance`: a tenant's implied device lifetime is
+``cell_endurance * crossbar_size / tenant_write_traffic``, and admission
+quotas are expressed as byte budgets derived from a minimum acceptable
+lifetime (:func:`repro.hw.endurance.wear_budget_bytes`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.endurance import EnduranceTracker, system_lifetime_years
+
+
+@dataclass(frozen=True)
+class RequestUsage:
+    """Measured resource usage of one dispatched request."""
+
+    request_id: int
+    tenant: str
+    batch_id: int
+    arrival_s: float
+    completed_s: float
+    service_s: float                  # simulated wall time spent serving it
+    latency_s: float                  # arrival -> completion (incl. queueing)
+    host_energy_j: float              # host-resident loop nests
+    offload_energy_j: float           # driver calls, copies, flushes, polling
+    accelerator_energy_j: float
+    crossbar_cell_writes: int
+    crossbar_write_ops: int
+    gemv_count: int
+    macs: int
+    dma_bytes: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.host_energy_j + self.offload_energy_j + self.accelerator_energy_j
+
+    @property
+    def wear_bytes(self) -> int:
+        """Crossbar write volume (one byte per programmed 8-bit cell)."""
+        return self.crossbar_cell_writes
+
+
+@dataclass
+class TenantAccount:
+    """Running account of one tenant's usage."""
+
+    tenant: str
+    usages: list[RequestUsage] = field(default_factory=list)
+    rejected: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self.usages)
+
+    @property
+    def energy_j(self) -> float:
+        return math.fsum(u.energy_j for u in self.usages)
+
+    @property
+    def accelerator_energy_j(self) -> float:
+        return math.fsum(u.accelerator_energy_j for u in self.usages)
+
+    @property
+    def service_s(self) -> float:
+        return math.fsum(u.service_s for u in self.usages)
+
+    @property
+    def wear_bytes(self) -> int:
+        return sum(u.wear_bytes for u in self.usages)
+
+    @property
+    def crossbar_write_ops(self) -> int:
+        return sum(u.crossbar_write_ops for u in self.usages)
+
+    @property
+    def gemv_count(self) -> int:
+        return sum(u.gemv_count for u in self.usages)
+
+    @property
+    def macs(self) -> int:
+        return sum(u.macs for u in self.usages)
+
+    @property
+    def dma_bytes(self) -> int:
+        return sum(u.dma_bytes for u in self.usages)
+
+    def latencies_s(self) -> list[float]:
+        return [u.latency_s for u in self.usages]
+
+    # ------------------------------------------------------------------
+    def endurance_tracker(self, crossbar_size_bytes: float) -> EnduranceTracker:
+        """This tenant's wear folded into the Eq. 1 tracker of
+        :mod:`repro.hw.endurance` (write volume over busy service time)."""
+        tracker = EnduranceTracker(crossbar_size_bytes=crossbar_size_bytes)
+        for usage in self.usages:
+            tracker.record_kernel(float(usage.wear_bytes), usage.service_s)
+        return tracker
+
+    def implied_lifetime_years(
+        self,
+        cell_endurance_writes: float,
+        crossbar_size_bytes: float,
+        elapsed_s: Optional[float] = None,
+    ) -> float:
+        """Device lifetime (years) if the whole crossbar saw only this
+        tenant's write traffic.  With ``elapsed_s`` the traffic is averaged
+        over that wall-clock window (the serving view: a tenant that is
+        mostly idle wears the device less); otherwise over the tenant's
+        busy service time (the worst-case sustained view)."""
+        if elapsed_s is None:
+            return self.endurance_tracker(crossbar_size_bytes).lifetime_years(
+                cell_endurance_writes
+            )
+        if elapsed_s <= 0:
+            return float("inf")
+        traffic = self.wear_bytes / elapsed_s
+        if traffic == 0.0:
+            return float("inf")
+        return system_lifetime_years(
+            cell_endurance_writes, crossbar_size_bytes, traffic
+        )
+
+
+class AccountingLedger:
+    """All tenants' accounts plus the device roll-up they partition."""
+
+    def __init__(self, crossbar_size_bytes: float):
+        self.crossbar_size_bytes = crossbar_size_bytes
+        self.tenants: dict[str, TenantAccount] = {}
+        #: Host-side housekeeping the server performs between requests
+        #: (releasing lease buffers), charged to the device ledger but not
+        #: to any single tenant request.
+        self.housekeeping_energy_j_records: list[float] = []
+
+    # ------------------------------------------------------------------
+    def account(self, tenant: str) -> TenantAccount:
+        if tenant not in self.tenants:
+            self.tenants[tenant] = TenantAccount(tenant=tenant)
+        return self.tenants[tenant]
+
+    def record(self, usage: RequestUsage) -> None:
+        self.account(usage.tenant).usages.append(usage)
+
+    def record_rejection(self, tenant: str) -> None:
+        self.account(tenant).rejected += 1
+
+    def record_housekeeping(self, energy_j: float) -> None:
+        if energy_j != 0.0:
+            self.housekeeping_energy_j_records.append(energy_j)
+
+    # ------------------------------------------------------------------
+    # Device totals (the partition view)
+    # ------------------------------------------------------------------
+    def all_usages(self) -> list[RequestUsage]:
+        return [u for account in self.tenants.values() for u in account.usages]
+
+    @property
+    def device_energy_j(self) -> float:
+        """Total energy across every request of every tenant plus server
+        housekeeping.  ``fsum`` over the underlying records makes this
+        identical to summing the per-tenant accounts in any order."""
+        return math.fsum(
+            [u.energy_j for u in self.all_usages()]
+            + self.housekeeping_energy_j_records
+        )
+
+    @property
+    def device_accelerator_energy_j(self) -> float:
+        return math.fsum(u.accelerator_energy_j for u in self.all_usages())
+
+    @property
+    def device_wear_bytes(self) -> int:
+        return sum(u.wear_bytes for u in self.all_usages())
+
+    @property
+    def device_crossbar_write_ops(self) -> int:
+        return sum(u.crossbar_write_ops for u in self.all_usages())
+
+    @property
+    def device_gemv_count(self) -> int:
+        return sum(u.gemv_count for u in self.all_usages())
+
+    @property
+    def device_macs(self) -> int:
+        return sum(u.macs for u in self.all_usages())
+
+    @property
+    def housekeeping_energy_j(self) -> float:
+        return math.fsum(self.housekeeping_energy_j_records)
+
+    # ------------------------------------------------------------------
+    def verify_partition(self, accelerator) -> dict[str, bool]:
+        """Cross-check the accounting partition against the accelerator's
+        own ledgers.  Integer wear/work counters must agree exactly; the
+        energy roll-up (floats accumulated in a different order by the
+        hardware ledger) must agree to float precision."""
+        acc_energy = accelerator.total_energy_j()
+        own_energy = self.device_accelerator_energy_j
+        checks = {
+            "cell_writes": self.device_wear_bytes == accelerator.total_cell_writes(),
+            "macs": self.device_macs == accelerator.total_macs(),
+            "gemv_count": self.device_gemv_count
+            == sum(run.gemv_count for run in accelerator.completed_runs),
+            "write_ops": self.device_crossbar_write_ops
+            == sum(run.crossbar_write_ops for run in accelerator.completed_runs),
+            "energy": math.isclose(
+                own_energy, acc_energy, rel_tol=1e-9, abs_tol=1e-18
+            ),
+        }
+        return checks

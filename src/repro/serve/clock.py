@@ -1,0 +1,40 @@
+"""The serving layer's simulated clock.
+
+Everything in the emulated stack is deterministic, so the server does not
+need real concurrency: it advances one virtual clock through arrival,
+batching-window and service events in order.  Two runs over the same
+submission sequence therefore produce identical schedules, timelines and
+accounting — the property every serving test and benchmark leans on.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """Monotonic simulated time in seconds."""
+
+    def __init__(self, start_s: float = 0.0):
+        if start_s < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_s = float(start_s)
+
+    @property
+    def now_s(self) -> float:
+        return self._now_s
+
+    def advance(self, delta_s: float) -> float:
+        """Move time forward by *delta_s* (>= 0); returns the new time."""
+        if delta_s < 0:
+            raise ValueError(f"cannot advance the clock by {delta_s}")
+        self._now_s += delta_s
+        return self._now_s
+
+    def advance_to(self, time_s: float) -> float:
+        """Move time forward to *time_s*; moving backwards is a no-op
+        (events that already happened never rewind the clock)."""
+        if time_s > self._now_s:
+            self._now_s = time_s
+        return self._now_s
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now_s:.9f}s)"

@@ -1,0 +1,13 @@
+"""Errors raised by the multi-tenant serving layer."""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Invalid serving-layer usage (bad submission, unresolved handle, ...)."""
+
+
+class AdmissionError(ServeError):
+    """A request was refused by the admission controller (backpressure or
+    an exhausted tenant quota).  Carried on the rejected handle; raised
+    when the caller asks the handle for its result."""

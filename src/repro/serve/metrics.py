@@ -1,0 +1,158 @@
+"""Serving metrics: queue depths, batch occupancy, latency percentiles,
+compile-cache hit rates.
+
+The registry is passive — the server pushes observations into it as the
+event loop progresses — and :meth:`MetricsRegistry.snapshot` folds the
+state into one plain dictionary (JSON-ready, used by the benchmark
+harness and by operators' dashboards in a real deployment).  Percentiles
+are computed on the simulated latencies with linear interpolation, the
+same convention as ``numpy.percentile``; everything is deterministic
+because the underlying clock is.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]) without NumPy —
+    the registry must stay importable in stripped-down tooling."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+class MetricsRegistry:
+    """Aggregated serving statistics."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.batches = 0
+        self.fused_batches = 0
+        self.batch_sizes: list[float] = []
+        self.latencies_s: list[float] = []
+        self.queueing_delays_s: list[float] = []
+        self.tenant_latencies_s: dict[str, list[float]] = {}
+        self.compile_cache_hits = 0
+        self.compile_cache_misses = 0
+        self.peak_queue_depth = 0
+        self.peak_queue_tenant: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Observations pushed by the server
+    # ------------------------------------------------------------------
+    def observe_submit(self) -> None:
+        self.submitted += 1
+
+    def observe_admission(self, admitted: bool) -> None:
+        if admitted:
+            self.admitted += 1
+        else:
+            self.rejected += 1
+
+    def observe_queue_depths(self, depths: dict[str, int]) -> None:
+        for tenant, depth in depths.items():
+            if depth > self.peak_queue_depth:
+                self.peak_queue_depth = depth
+                self.peak_queue_tenant = tenant
+
+    def observe_batch(self, size: int, fused: bool) -> None:
+        self.batches += 1
+        self.batch_sizes.append(float(size))
+        if fused:
+            self.fused_batches += 1
+
+    def observe_completion(
+        self, tenant: str, latency_s: float, queueing_delay_s: float
+    ) -> None:
+        self.completed += 1
+        self.latencies_s.append(latency_s)
+        self.queueing_delays_s.append(queueing_delay_s)
+        self.tenant_latencies_s.setdefault(tenant, []).append(latency_s)
+
+    def observe_failure(self) -> None:
+        self.failed += 1
+
+    def observe_compile(self, hits_delta: int, misses_delta: int) -> None:
+        self.compile_cache_hits += hits_delta
+        self.compile_cache_misses += misses_delta
+
+    # ------------------------------------------------------------------
+    @property
+    def mean_batch_occupancy(self) -> float:
+        """Mean requests per dispatch batch (1.0 = no coalescing)."""
+        if not self.batch_sizes:
+            return 0.0
+        return sum(self.batch_sizes) / len(self.batch_sizes)
+
+    @property
+    def compile_cache_hit_rate(self) -> float:
+        total = self.compile_cache_hits + self.compile_cache_misses
+        if total == 0:
+            return 0.0
+        return self.compile_cache_hits / total
+
+    def latency_percentile_s(self, q: float) -> float:
+        return percentile(self.latencies_s, q)
+
+    # ------------------------------------------------------------------
+    def snapshot(self, queue_depths: Optional[dict[str, int]] = None) -> dict:
+        """One JSON-ready view of every serving metric."""
+        snap: dict = {
+            "requests": {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "failed": self.failed,
+            },
+            "batching": {
+                "batches": self.batches,
+                "fused_batches": self.fused_batches,
+                "mean_occupancy": round(self.mean_batch_occupancy, 3),
+                "max_size": max(self.batch_sizes) if self.batch_sizes else 0,
+            },
+            "queues": {
+                "current_depths": dict(queue_depths or {}),
+                "peak_depth": self.peak_queue_depth,
+                "peak_tenant": self.peak_queue_tenant,
+            },
+            "compile_cache": {
+                "hits": self.compile_cache_hits,
+                "misses": self.compile_cache_misses,
+                "hit_rate": round(self.compile_cache_hit_rate, 4),
+            },
+        }
+        if self.latencies_s:
+            snap["latency_s"] = {
+                "p50": self.latency_percentile_s(50),
+                "p99": self.latency_percentile_s(99),
+                "mean": sum(self.latencies_s) / len(self.latencies_s),
+                "max": max(self.latencies_s),
+            }
+            snap["queueing_delay_s"] = {
+                "p50": percentile(self.queueing_delays_s, 50),
+                "p99": percentile(self.queueing_delays_s, 99),
+            }
+            snap["tenant_latency_p99_s"] = {
+                tenant: percentile(values, 99)
+                for tenant, values in sorted(self.tenant_latencies_s.items())
+            }
+        return snap

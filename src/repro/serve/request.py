@@ -1,0 +1,118 @@
+"""Request and handle types of the serving layer.
+
+A tenant's ``submit()`` returns a :class:`RequestHandle` immediately; the
+request itself is resolved later, when the server's event loop admits,
+batches and dispatches it on the simulated clock.  Handles are future-like
+but synchronous: ``result()`` raises if the request is still pending (the
+caller must drive :meth:`CimServer.drain` / :meth:`CimServer.step` first)
+— there is no blocking, because simulated time only moves when the event
+loop moves it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.codegen.executor import ExecutionReport
+from repro.serve.errors import AdmissionError, ServeError
+
+
+class RequestStatus(enum.Enum):
+    """Lifecycle of one serving request."""
+
+    SUBMITTED = "submitted"   # accepted by submit(), not yet at its arrival time
+    QUEUED = "queued"         # admitted into its tenant queue
+    COMPLETED = "completed"   # dispatched and finished; result available
+    REJECTED = "rejected"     # refused by admission control
+    FAILED = "failed"         # dispatched but raised (bad payload, exec error)
+
+
+@dataclass
+class TenantRequest:
+    """Internal record of one submitted offload request."""
+
+    seq: int                       # global submission index (tie-breaker)
+    tenant: str
+    signature: str                 # batch-compatibility key (see batcher)
+    program: object                # compiled IR program
+    params: Mapping[str, float]
+    arrays: dict[str, np.ndarray]  # private snapshot of the tenant's data
+    arrival_s: float
+    #: Execution engine the kernel was compiled for (None = executor default).
+    engine: Optional[str] = None
+    handle: "RequestHandle" = None  # type: ignore[assignment]
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.arrival_s, self.seq)
+
+
+@dataclass
+class RequestHandle:
+    """Caller-facing view of one request's lifecycle and result."""
+
+    request_id: int
+    tenant: str
+    arrival_s: float
+    status: RequestStatus = RequestStatus.SUBMITTED
+    reject_reason: Optional[str] = None
+    #: Simulated times, filled in as the event loop progresses.
+    admitted_s: Optional[float] = None
+    dispatched_s: Optional[float] = None
+    completed_s: Optional[float] = None
+    #: Which dispatch batch served this request and how full it was.
+    batch_id: Optional[int] = None
+    batch_size: Optional[int] = None
+    #: Execution accounting of this request alone.
+    report: Optional[ExecutionReport] = None
+    _result: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.status in (
+            RequestStatus.COMPLETED,
+            RequestStatus.REJECTED,
+            RequestStatus.FAILED,
+        )
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        """Arrival-to-completion simulated latency (None until completed)."""
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.arrival_s
+
+    @property
+    def queueing_delay_s(self) -> Optional[float]:
+        """Time spent waiting (and batching) before dispatch began."""
+        if self.dispatched_s is None:
+            return None
+        return self.dispatched_s - self.arrival_s
+
+    def result(self) -> dict[str, np.ndarray]:
+        """Final arrays of the request's program.
+
+        Raises :class:`AdmissionError` if the request was rejected,
+        :class:`ServeError` if its execution failed (bad payload) or if
+        it has not been dispatched yet.
+        """
+        if self.status is RequestStatus.REJECTED:
+            raise AdmissionError(
+                f"request {self.request_id} of tenant {self.tenant!r} was "
+                f"rejected: {self.reject_reason}"
+            )
+        if self.status is RequestStatus.FAILED:
+            raise ServeError(
+                f"request {self.request_id} of tenant {self.tenant!r} "
+                f"failed: {self.reject_reason}"
+            )
+        if self.status is not RequestStatus.COMPLETED or self._result is None:
+            raise ServeError(
+                f"request {self.request_id} is {self.status.value}; drive "
+                "CimServer.drain() (or step()) before asking for results"
+            )
+        return self._result

@@ -1,0 +1,564 @@
+"""The multi-tenant CIM serving layer.
+
+:class:`CimServer` multiplexes offload requests from many logical tenants
+onto one emulated CIM system under a single simulated clock.  The paper's
+runtime (Listing 1) assumes one host program driving one device;
+the server turns that stack into a shared service:
+
+* ``submit(tenant, kernel, params, arrays)`` compiles the kernel through
+  one shared, thread-safe :class:`~repro.compiler.cache.KernelCompileCache`
+  and returns a future-style :class:`~repro.serve.request.RequestHandle`;
+* the **admission controller** applies per-tenant bounded queues,
+  backpressure and lifetime-denominated wear/energy quotas
+  (:mod:`repro.serve.admission`);
+* the **dynamic batcher** coalesces compatible requests inside a
+  configurable simulated batching window into one crossbar *lease*
+  (:mod:`repro.serve.batcher`): the stationary operand is programmed
+  once, the batch streams against the resident operand;
+* the **event loop** (:meth:`step` / :meth:`drain`) advances the
+  simulated clock deterministically through arrivals, windows and
+  dispatches, leasing the device (and its ``num_tiles`` hardware lanes —
+  each dispatch shards across them, see :mod:`repro.hw.scheduler`) to one
+  batch at a time and recording lease spans on a serving
+  :class:`~repro.hw.timeline.Timeline`;
+* **per-tenant accounting** (:mod:`repro.serve.accounting`) partitions
+  every joule, second and programmed crossbar cell over the requests that
+  caused them, so tenant bills reconcile exactly with the device ledgers
+  and quotas can be expressed in Eq. 1 device-lifetime terms;
+* the **metrics registry** (:mod:`repro.serve.metrics`) snapshots queue
+  depths, batch occupancy, latency percentiles and cache hit rates.
+
+Functional results are bit-identical per request to a direct
+:class:`~repro.codegen.executor.OffloadExecutor` execution of the same
+program — batching changes scheduling, latency and wear accounting, never
+values.  Every run is reproducible: same submissions, same schedule.
+
+The server owns its system's runtime session and releases all device
+buffers between requests (crossbar leases never leak CMA memory);
+:meth:`shutdown` — or leaving the server's context — tears the session
+down via :meth:`~repro.runtime.api.CimRuntime.cim_shutdown`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from repro.codegen.executor import ExecutionReport, OffloadExecutor
+from repro.compiler.cache import KernelCompileCache, compile_fingerprint
+from repro.compiler.driver import TdoCimCompiler
+from repro.compiler.options import CompileOptions
+from repro.hw.timeline import Timeline
+from repro.ir.program import Program
+from repro.serve.accounting import AccountingLedger, RequestUsage
+from repro.serve.admission import AdmissionController, TenantQuota
+from repro.serve.batcher import (
+    DynamicBatcher,
+    FusedGemvPlan,
+    batch_signature,
+    extract_fused_gemv_plan,
+)
+from repro.serve.clock import VirtualClock
+from repro.serve.errors import ServeError
+from repro.serve.metrics import MetricsRegistry
+from repro.serve.request import RequestHandle, RequestStatus, TenantRequest
+from repro.system.config import SystemConfig
+from repro.system.system import CimSystem
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs of one :class:`CimServer`."""
+
+    #: CIM tiles the device shards each dispatch over (PR 2 lanes).
+    num_tiles: int = 1
+    #: Simulated batching window: a batch seeded at time t dispatches at
+    #: t + window, collecting compatible arrivals in between.
+    batch_window_s: float = 100e-6
+    #: Hard cap on requests per dispatch batch.
+    max_batch_size: int = 16
+    #: Admission defaults for tenants without an explicit quota.
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    #: Scrub crossbar residency between leases (tenant isolation: one
+    #: batch never inherits another's programmed operand).
+    scrub_leases: bool = True
+    #: Compiler options for ``submit`` calls that pass mini-C source.
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+    #: Optional crossbar geometry overrides for the private system.
+    crossbar_rows: Optional[int] = None
+    crossbar_cols: Optional[int] = None
+    crossbar_mode: str = "ideal"
+
+
+class CimServer:
+    """Serve offload requests from many tenants on one emulated device."""
+
+    def __init__(
+        self,
+        config: Optional[ServerConfig] = None,
+        system: Optional[CimSystem] = None,
+        compile_cache: Optional[KernelCompileCache] = None,
+    ):
+        self.config = config or ServerConfig()
+        self._owns_system = system is None
+        if system is None:
+            system = CimSystem(
+                SystemConfig(
+                    num_tiles=self.config.num_tiles,
+                    crossbar_rows=self.config.crossbar_rows,
+                    crossbar_cols=self.config.crossbar_cols,
+                    crossbar_mode=self.config.crossbar_mode,
+                )
+            )
+        elif system.config.num_tiles != self.config.num_tiles:
+            raise ServeError(
+                f"config.num_tiles={self.config.num_tiles} conflicts with "
+                f"the given system (num_tiles={system.config.num_tiles})"
+            )
+        self.system = system
+        self.executor = OffloadExecutor(system)
+        self.compile_cache = compile_cache or KernelCompileCache()
+        self.compiler = TdoCimCompiler(
+            self.config.compile_options, cache=self.compile_cache
+        )
+        self.clock = VirtualClock()
+        tile = system.accelerator.tile
+        # One byte per programmed 8-bit cell, the lifetime-model currency.
+        self.ledger = AccountingLedger(crossbar_size_bytes=tile.rows * tile.cols)
+        self.admission = AdmissionController(
+            self.ledger, self.config.default_quota
+        )
+        self.batcher = DynamicBatcher(
+            window_s=self.config.batch_window_s,
+            max_batch_size=self.config.max_batch_size,
+        )
+        self.metrics = MetricsRegistry()
+        #: Serving-level lease/occupancy timeline (one event per lease).
+        self.timeline = Timeline()
+        # Submissions are enforced non-decreasing in arrival time, so the
+        # arrival queue is consumed strictly from the left.
+        self._arrivals: deque[TenantRequest] = deque()
+        self._seq = 0
+        self._batch_counter = 0
+        self._last_arrival_s = 0.0
+        self._closed = False
+        self.system.runtime.cim_init(0)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def shutdown(self) -> None:
+        """Resolve nothing further; release the device session.
+
+        Pending (undispatched) requests stay pending — the simulated
+        service simply stops.  Idempotent.  The runtime session is torn
+        down only when the server built its own system; a caller-provided
+        :class:`CimSystem` stays usable (its leased buffers are released,
+        its runtime is not shut down).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_system:
+            self.system.runtime.cim_shutdown()
+        else:
+            self.system.runtime.free_all()
+
+    def __enter__(self) -> "CimServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise ServeError("server has been shut down")
+
+    # ------------------------------------------------------------------
+    # Tenant API
+    # ------------------------------------------------------------------
+    def set_quota(self, tenant: str, quota: TenantQuota) -> None:
+        self.admission.set_quota(tenant, quota)
+
+    def submit(
+        self,
+        tenant: str,
+        kernel: Union[str, Program, object],
+        params: Optional[Mapping[str, Union[int, float]]] = None,
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+        arrival_s: Optional[float] = None,
+    ) -> RequestHandle:
+        """Queue one offload request; returns its handle immediately.
+
+        ``kernel`` is mini-C source, an IR program, or a prior
+        :class:`~repro.compiler.driver.CompilationResult`.  ``arrival_s``
+        is the simulated arrival time; it defaults to "now" and must be
+        non-decreasing across submissions (the event loop replays
+        arrivals in order).  The tenant's ``arrays`` are snapshotted at
+        submission, so the caller may reuse or mutate them afterwards.
+        """
+        self._require_open()
+        if not tenant:
+            raise ServeError("tenant name must be non-empty")
+        params = {key: value for key, value in (params or {}).items()}
+        earliest = max(self.clock.now_s, self._last_arrival_s)
+        if arrival_s is None:
+            arrival_s = earliest
+        elif arrival_s < earliest:
+            raise ServeError(
+                f"arrival_s={arrival_s} is in the simulated past "
+                f"(clock={self.clock.now_s}, last arrival={self._last_arrival_s})"
+            )
+        program, fingerprint, engine = self._resolve_kernel(kernel, params)
+        snapshot = {
+            name: np.array(value, copy=True)
+            for name, value in (arrays or {}).items()
+        }
+        signature = batch_signature(fingerprint, program, params, snapshot)
+        self._seq += 1
+        handle = RequestHandle(
+            request_id=self._seq, tenant=tenant, arrival_s=arrival_s
+        )
+        request = TenantRequest(
+            seq=self._seq,
+            tenant=tenant,
+            signature=signature,
+            program=program,
+            params=params,
+            arrays=snapshot,
+            arrival_s=arrival_s,
+            engine=engine,
+            handle=handle,
+        )
+        self._arrivals.append(request)
+        self._last_arrival_s = arrival_s
+        self.metrics.observe_submit()
+        return handle
+
+    def _resolve_kernel(
+        self, kernel: Union[str, Program, object], params: Mapping[str, float]
+    ) -> tuple[Program, str, Optional[str]]:
+        """Compile (through the shared cache) or unwrap the kernel.
+
+        Returns ``(program, fingerprint, engine)``.  The fingerprint
+        reuses the compile-cache key when one is available (no second
+        hash on the submission hot path); the engine is the one the
+        kernel was compiled for, so dispatch honours it exactly like a
+        direct ``OffloadExecutor.run`` of the compilation result would.
+        """
+        if hasattr(kernel, "program") and hasattr(kernel, "report"):
+            program = kernel.program  # pre-compiled CompilationResult
+            fingerprint = getattr(kernel, "cache_key", None) or compile_fingerprint(
+                program, self.config.compile_options, params
+            )
+            options = getattr(kernel, "options", None)
+            engine = options.engine if options is not None else None
+            return program, fingerprint, engine
+        hits0 = self.compile_cache.hits
+        misses0 = self.compile_cache.misses
+        result = self.compiler.compile(kernel, size_hint=params)
+        self.metrics.observe_compile(
+            self.compile_cache.hits - hits0, self.compile_cache.misses - misses0
+        )
+        fingerprint = result.cache_key or compile_fingerprint(
+            kernel, self.config.compile_options, params
+        )
+        return result.program, fingerprint, self.config.compile_options.engine
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Advance the simulated service by one event (one dispatched
+        batch, or one clock hop to the next arrival).  Returns ``False``
+        when there is nothing left to do."""
+        self._require_open()
+        self._pump_arrivals(self.clock.now_s)
+        if self.admission.total_queued == 0:
+            if not self._arrivals:
+                return False
+            self.clock.advance_to(self._arrivals[0].arrival_s)
+            self._pump_arrivals(self.clock.now_s)
+            if self.admission.total_queued == 0:
+                return True  # everything at this instant was rejected
+        seed = self.admission.pick_seed()
+        window_close_s = self.clock.now_s + self.batcher.window_s
+        self._pump_arrivals(window_close_s)
+        batch = self.batcher.form_batch(seed, self.admission.queued_requests())
+        self.admission.remove(batch)
+        self.clock.advance_to(window_close_s)
+        self._dispatch(batch)
+        return True
+
+    def drain(self) -> dict:
+        """Run the event loop until every submitted request is resolved;
+        returns a metrics snapshot."""
+        while self.step():
+            pass
+        return self.metrics.snapshot(self.admission.queue_depths())
+
+    def _pump_arrivals(self, until_s: float) -> None:
+        """Admit (or reject) every submission with arrival <= *until_s*."""
+        while self._arrivals and self._arrivals[0].arrival_s <= until_s:
+            request = self._arrivals.popleft()
+            admitted = self.admission.admit(request, now_s=request.arrival_s)
+            self.metrics.observe_admission(admitted)
+            if admitted:
+                self.metrics.observe_queue_depths(self.admission.queue_depths())
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: list[TenantRequest]) -> None:
+        self._batch_counter += 1
+        batch_id = self._batch_counter
+        if self.config.scrub_leases:
+            # Lease isolation: a batch never inherits the previous
+            # tenant's programmed operand.
+            self.system.accelerator.micro_engine.invalidate_residency()
+        plan = extract_fused_gemv_plan(batch[0].program, batch[0].params)
+        lease_start_s = self.clock.now_s
+        if plan is not None:
+            self._dispatch_fused(batch, plan, batch_id)
+        else:
+            self._dispatch_programs(batch, batch_id)
+        self.timeline.record(
+            "serve.device",
+            f"lease[{batch[0].signature[:8]}]x{len(batch)}",
+            lease_start_s,
+            self.clock.now_s - lease_start_s,
+        )
+        self.metrics.observe_batch(len(batch), fused=plan is not None)
+
+    def _dispatch_programs(self, batch: list[TenantRequest], batch_id: int) -> None:
+        """Generic lease: run each request's whole program back to back.
+
+        Within the lease the crossbar keeps the operand of the previous
+        request resident, and because the runtime releases every device
+        buffer between requests, identical programs re-allocate at
+        identical addresses — so compatible followers skip the
+        reprogramming entirely (the PR 1 residency path) while staying
+        bit-identical to their direct execution.
+        """
+        for request in batch:
+
+            def run_program(request=request):
+                return self.executor.run(
+                    request.program,
+                    request.params,
+                    request.arrays,
+                    reset_stats=False,
+                    engine=request.engine,
+                )
+
+            self._execute_guarded(request, batch_id, len(batch), run_program)
+            self._release_lease_buffers()
+
+    def _dispatch_fused(
+        self, batch: list[TenantRequest], plan: FusedGemvPlan, batch_id: int
+    ) -> None:
+        """Fused GEMV lease: upload the stationary matrix once, then
+        stream one ``sgemv`` per request against the resident operand."""
+        runtime = self.system.runtime
+        buffers: dict[str, object] = {"a": None, "x": None, "y": None}
+
+        def run_fused(request: TenantRequest):
+            if buffers["a"] is None:
+                # Lease setup — the request that establishes the lease
+                # supplies the operands and pays for the shared upload.
+                # (Batch compatibility makes the stationary matrix
+                # byte-identical across members, so any establisher
+                # serves the whole lease; a malformed member must only
+                # ever fail itself.)
+                matrix = request.arrays[plan.array_a]
+                buffers["a"] = runtime.cim_malloc(matrix.nbytes)
+                buffers["x"] = runtime.cim_malloc(
+                    request.arrays[plan.array_x].nbytes
+                )
+                buffers["y"] = runtime.cim_malloc(
+                    request.arrays[plan.array_y].nbytes
+                )
+                runtime.cim_host_to_dev(buffers["a"], matrix)
+            x = request.arrays[plan.array_x]
+            y = request.arrays[plan.array_y]
+            runtime.cim_host_to_dev(buffers["x"], x)
+            if plan.uploads_y:
+                runtime.cim_host_to_dev(buffers["y"], y)
+            self.system.blas.sgemv(
+                plan.trans_a,
+                plan.m,
+                plan.n,
+                plan.alpha,
+                buffers["a"],
+                plan.n,
+                buffers["x"],
+                plan.beta,
+                buffers["y"],
+            )
+            result_y = runtime.cim_dev_to_host(buffers["y"], y.shape).astype(
+                y.dtype
+            )
+            outputs = {
+                name: np.array(value, copy=True)
+                for name, value in request.arrays.items()
+            }
+            outputs[plan.array_y] = result_y
+            return outputs, None
+
+        try:
+            for request in batch:
+                ok = self._execute_guarded(
+                    request,
+                    batch_id,
+                    len(batch),
+                    lambda request=request: run_fused(request),
+                    runtime_calls=["polly_cimBlasSGemv"],
+                )
+                if not ok:
+                    # A failed request may leave the lease half set up;
+                    # scrub it so the next request re-establishes cleanly.
+                    self._release_lease_buffers()
+                    buffers["a"] = buffers["x"] = buffers["y"] = None
+        finally:
+            self._release_lease_buffers()
+
+    def _execute_guarded(
+        self,
+        request: TenantRequest,
+        batch_id: int,
+        batch_size: int,
+        thunk,
+        runtime_calls: Optional[list[str]] = None,
+    ) -> bool:
+        """Execute one request; a failure (bad payload, execution error)
+        resolves its handle as FAILED — billing the tenant for the work
+        the device actually performed — instead of killing the event loop
+        and stranding every other queued request.  Returns ``True`` on
+        success."""
+        request.handle.dispatched_s = self.clock.now_s
+        overhead = self.system.host_overhead
+        energy0 = overhead.energy_j
+        time0 = overhead.time_s
+        instr0 = overhead.instructions
+        runs_before = len(self.system.accelerator.completed_runs)
+        failure: Optional[str] = None
+        outputs: Optional[dict[str, np.ndarray]] = None
+        report: Optional[ExecutionReport] = None
+        try:
+            outputs, report = thunk()
+        except Exception as exc:
+            failure = f"{type(exc).__name__}: {exc}"
+        if report is None:
+            # Fused path (returns no report) and the failure path both
+            # account from the measured ledger deltas.
+            report = ExecutionReport(program_name=request.program.name)
+            report.offload_instructions = overhead.instructions - instr0
+            report.offload_energy_j = overhead.energy_j - energy0
+            report.offload_time_s = overhead.time_s - time0
+            if runtime_calls is not None and failure is None:
+                report.runtime_calls = list(runtime_calls)
+            for run in self.system.accelerator.completed_runs[runs_before:]:
+                report.accelerator_energy_j += run.energy_j
+                report.accelerator_time_s += run.latency_s
+                report.gemv_count += run.gemv_count
+                report.crossbar_cell_writes += run.crossbar_cell_writes
+                report.crossbar_write_ops += run.crossbar_write_ops
+                report.accelerator_macs += run.macs
+                report.dma_bytes += run.dma_bytes
+                for key, value in run.energy_breakdown.items():
+                    report.accelerator_energy_breakdown[key] = (
+                        report.accelerator_energy_breakdown.get(key, 0.0) + value
+                    )
+        service_s = report.total_time_s
+        self.clock.advance(service_s)
+        if failure is not None:
+            self._fail(request, batch_id, batch_size, report, service_s, failure)
+            return False
+        self._complete(request, batch_id, batch_size, outputs, report, service_s)
+        return True
+
+    def _release_lease_buffers(self) -> None:
+        """Free every device buffer of the lease; the host cost of the
+        releases lands in the ledger's housekeeping bucket (it belongs to
+        the lease, not to any single request)."""
+        overhead = self.system.host_overhead
+        energy0 = overhead.energy_j
+        time0 = overhead.time_s
+        self.system.runtime.free_all()
+        self.ledger.record_housekeeping(overhead.energy_j - energy0)
+        self.clock.advance(overhead.time_s - time0)
+
+    def _fail(
+        self,
+        request: TenantRequest,
+        batch_id: int,
+        batch_size: int,
+        report: ExecutionReport,
+        service_s: float,
+        reason: str,
+    ) -> None:
+        handle = request.handle
+        handle.status = RequestStatus.FAILED
+        handle.reject_reason = reason
+        handle.completed_s = self.clock.now_s
+        handle.batch_id = batch_id
+        handle.batch_size = batch_size
+        handle.report = report
+        self._record_usage(request, batch_id, report, service_s)
+        self.metrics.observe_failure()
+
+    def _complete(
+        self,
+        request: TenantRequest,
+        batch_id: int,
+        batch_size: int,
+        outputs: dict[str, np.ndarray],
+        report: ExecutionReport,
+        service_s: float,
+    ) -> None:
+        handle = request.handle
+        handle.status = RequestStatus.COMPLETED
+        handle.completed_s = self.clock.now_s
+        handle.batch_id = batch_id
+        handle.batch_size = batch_size
+        handle.report = report
+        handle._result = outputs
+        self._record_usage(request, batch_id, report, service_s)
+        self.metrics.observe_completion(
+            request.tenant, handle.latency_s, handle.queueing_delay_s
+        )
+
+    def _record_usage(
+        self,
+        request: TenantRequest,
+        batch_id: int,
+        report: ExecutionReport,
+        service_s: float,
+    ) -> None:
+        handle = request.handle
+        usage = RequestUsage(
+            request_id=request.seq,
+            tenant=request.tenant,
+            batch_id=batch_id,
+            arrival_s=request.arrival_s,
+            completed_s=handle.completed_s,
+            service_s=service_s,
+            latency_s=handle.latency_s,
+            host_energy_j=report.host_estimate.energy_j,
+            offload_energy_j=report.offload_energy_j,
+            accelerator_energy_j=report.accelerator_energy_j,
+            crossbar_cell_writes=report.crossbar_cell_writes,
+            crossbar_write_ops=report.crossbar_write_ops,
+            gemv_count=report.gemv_count,
+            macs=report.accelerator_macs,
+            dma_bytes=report.dma_bytes,
+        )
+        self.ledger.record(usage)
+        self.admission.charge_service(request.tenant, service_s)

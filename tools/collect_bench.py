@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Aggregate every ``BENCH_*.json`` into one benchmark-trajectory table.
+
+Each PR's benchmark harness drops a ``BENCH_*.json`` in the repository
+root; this tool folds them into a single chronological table (one row per
+benchmark file, with its headline numbers) so the performance history of
+the project can be read in one place.  Output goes to stdout and —
+unless ``--no-write`` — to ``benchmarks/results/trajectory.md``.
+
+Standard library only, so the CI docs/tooling jobs can run it without
+installing anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _headline_engine_speed(data: dict) -> str:
+    rows = data.get("results", [])
+    best = max(
+        (row for row in rows if row.get("speedup")),
+        key=lambda row: row["speedup"],
+        default=None,
+    )
+    if best is None:
+        return "no results"
+    return (
+        f"vectorized engine {best['speedup']:.0f}x exact over the "
+        f"interpreter at {best.get('kernel', '?')}@{best.get('size', '?')}"
+    )
+
+
+def _headline_multitile(data: dict) -> str:
+    scaling = data.get("tile_scaling", [])
+    cache = data.get("compile_cache", [])
+    parts = []
+    if scaling:
+        speedups = [row["speedup_at_4_tiles"] for row in scaling]
+        parts.append(
+            f"{min(speedups):.1f}-{max(speedups):.1f}x latency at 4 tiles "
+            f"over {len(scaling)} kernels"
+        )
+    if cache:
+        speedups = [row["speedup"] for row in cache]
+        parts.append(f"warm-compile {min(speedups):.0f}-{max(speedups):.0f}x")
+    return "; ".join(parts) or "no results"
+
+
+def _headline_pipelines(data: dict) -> str:
+    rows = data.get("rows", [])
+    pipelines = data.get("pipelines", [])
+    return (
+        f"{len(pipelines)} pipelines x {len(rows)} kernels "
+        f"on {data.get('dataset', '?')}"
+    )
+
+
+def _headline_serving(data: dict) -> str:
+    return (
+        f"dynamic batching {data.get('speedup_at_4_tiles', '?')}x over "
+        f"serialized execution at 4 tiles "
+        f"({data.get('requests', '?')} reqs, {len(data.get('tenants', []))} tenants)"
+    )
+
+
+#: benchmark-name -> headline extractor; unknown names fall back to keys.
+HEADLINERS = {
+    "engine_speed": _headline_engine_speed,
+    "multitile_scaling": _headline_multitile,
+    "pipeline_ablation": _headline_pipelines,
+    "serving_throughput": _headline_serving,
+}
+
+
+def collect(root: Path) -> list[dict]:
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            rows.append(
+                {
+                    "file": path.name,
+                    "benchmark": "(unreadable)",
+                    "mode": "-",
+                    "headline": f"error: {exc}",
+                }
+            )
+            continue
+        name = data.get("benchmark", "(unnamed)")
+        extractor = HEADLINERS.get(name)
+        if extractor is not None:
+            headline = extractor(data)
+        else:
+            headline = ", ".join(sorted(data.keys()))
+        rows.append(
+            {
+                "file": path.name,
+                "benchmark": name,
+                "mode": data.get("mode", "-") or "-",
+                "headline": headline,
+            }
+        )
+    return rows
+
+
+def render_markdown(rows: list[dict]) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "Aggregated from the `BENCH_*.json` files in the repository root",
+        "by `tools/collect_bench.py`; regenerate after adding a benchmark.",
+        "",
+        "| file | benchmark | mode | headline |",
+        "|---|---|---|---|",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row['file']} | {row['benchmark']} | {row['mode']} "
+            f"| {row['headline']} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", default=str(REPO_ROOT), help="repository root to scan"
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print only; do not update benchmarks/results/trajectory.md",
+    )
+    args = parser.parse_args()
+    root = Path(args.root)
+    rows = collect(root)
+    if not rows:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    table = render_markdown(rows)
+    print(table)
+    if not args.no_write:
+        out = root / "benchmarks" / "results" / "trajectory.md"
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(table)
+        print(f"wrote {out.relative_to(root)}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
