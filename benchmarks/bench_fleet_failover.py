@@ -1,0 +1,315 @@
+"""Fleet failover benchmark (PR 6 trajectory point).
+
+Two studies on the fault-tolerant multi-device fleet tier:
+
+1. **Wear-aware placement extends fleet lifetime.**  A heterogeneous
+   fleet (one device joins pre-aged to most of its Eq. 1 endurance
+   budget) serves the same GEMV trace under round-robin and wear-aware
+   placement.  Fleet lifetime is the implied Eq. 1 lifetime of the
+   *most-worn* device; wear-aware routing steers leases away from the
+   aged device and must extend that minimum measurably.
+
+2. **Graceful degradation under a fault storm.**  Half the fleet is
+   killed mid-run (plus transient DMA faults); the fleet must keep
+   serving — every request completes via retry/migration, responses stay
+   bit-identical to the fault-free run, the ledger partition stays exact
+   across tenants *and* devices, and throughput degrades in rough
+   proportion to lost capacity instead of collapsing.
+
+The acceptance gate asserts lifetime extension >= 1.5x, zero lost
+requests in the storm, bit-identical completed payloads, an exact
+fleet-wide accounting partition, and a storm throughput within
+[0.25, 1.0) of fault-free.  Results go to ``BENCH_PR6.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_failover.py           # full
+    PYTHONPATH=src python benchmarks/bench_fleet_failover.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval import fleet_device_rows, fleet_implied_lifetime_years
+from repro.eval.tenants import DEFAULT_CELL_ENDURANCE_WRITES
+from repro.fleet import (
+    DeviceKill,
+    FaultPlan,
+    FleetConfig,
+    FleetServer,
+    OpFaultRule,
+)
+from repro.serve import RequestStatus, TenantQuota
+
+GEMV_SOURCE = """
+void gemv(int M, int N, float A[M][N], float x[N], float y[M]) {
+  for (int i = 0; i < M; i++) {
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      y[i] += A[i][j] * x[j];
+  }
+}
+"""
+
+TENANTS = ("alpha", "beta", "gamma", "delta")
+
+#: (matrix side, request count)
+FULL_SETUP = (96, 64)
+SMOKE_SETUP = (24, 20)
+
+NUM_DEVICES = 4
+SPACING_S = 4e-5
+
+
+def make_trace(side: int, count: int) -> list[tuple[str, dict]]:
+    rng = np.random.default_rng(2020)
+    model = rng.random((side, side), dtype=np.float32)
+    trace = []
+    for index in range(count):
+        arrays = {
+            "A": model,
+            "x": rng.random(side, dtype=np.float32),
+            "y": np.zeros(side, dtype=np.float32),
+        }
+        trace.append((TENANTS[index % len(TENANTS)], arrays))
+    return trace
+
+
+def run_fleet(
+    side: int,
+    trace: list[tuple[str, dict]],
+    placement: str,
+    fault_plan: FaultPlan | None = None,
+    initial_wear_bytes: tuple = (),
+) -> dict:
+    """Serve *trace* on one fleet configuration; returns a result row."""
+    params = {"M": side, "N": side}
+    config = FleetConfig(
+        num_devices=NUM_DEVICES,
+        batch_window_s=250e-6,
+        max_batch_size=16,
+        default_quota=TenantQuota(max_queue_depth=256),
+        placement=placement,
+        initial_wear_bytes=initial_wear_bytes,
+        fault_plan=fault_plan,
+    )
+    with FleetServer(config) as fleet:
+        handles = [
+            fleet.submit(tenant, GEMV_SOURCE, params, arrays,
+                         arrival_s=index * SPACING_S)
+            for index, (tenant, arrays) in enumerate(trace)
+        ]
+        snapshot = fleet.drain()
+        partition = fleet.verify_fleet_partition()
+        rows = fleet_device_rows(fleet, DEFAULT_CELL_ENDURANCE_WRITES)
+        completed = [
+            handle for handle in handles
+            if handle.status is RequestStatus.COMPLETED
+        ]
+        makespan_s = fleet.clock.now_s - handles[0].arrival_s
+        return {
+            "placement": placement,
+            "completed": len(completed),
+            "failed": sum(
+                handle.status is RequestStatus.FAILED for handle in handles
+            ),
+            "rejected": sum(
+                handle.status is RequestStatus.REJECTED for handle in handles
+            ),
+            "achieved_rps": len(completed) / makespan_s,
+            "makespan_s": makespan_s,
+            "fleet_lifetime_years": fleet_implied_lifetime_years(rows),
+            "accounting_exact": bool(all(partition.values())),
+            "device_rows": [
+                {
+                    "device_id": row.device_id,
+                    "state": row.state,
+                    "leases": row.leases,
+                    "served": row.served,
+                    "wear_bytes": row.wear_bytes,
+                    "compensated_wear_bytes": row.compensated_wear_bytes,
+                    "implied_lifetime_years": (
+                        row.implied_lifetime_years
+                        if row.implied_lifetime_years != float("inf")
+                        else None
+                    ),
+                }
+                for row in rows
+            ],
+            "fleet_stats": snapshot.get("fleet", {}),
+            "results": {
+                handle.request_id: handle.result() for handle in completed
+            },
+        }
+
+
+def lifetime_study(side: int, trace: list[tuple[str, dict]]) -> dict:
+    """Wear-aware vs round-robin on a heterogeneous-age fleet."""
+    # Device 0 joins pre-aged to ~99% of its endurance budget; the other
+    # devices are factory fresh.
+    probe = FleetServer(FleetConfig(num_devices=1))
+    crossbar_size = probe.ledger.crossbar_size_bytes
+    probe.shutdown()
+    budget = DEFAULT_CELL_ENDURANCE_WRITES * crossbar_size
+    pre_aged = (int(budget * 0.99), 0, 0, 0)
+
+    rows = {}
+    for placement in ("round-robin", "wear-aware"):
+        row = run_fleet(
+            side, trace, placement, initial_wear_bytes=pre_aged
+        )
+        row.pop("results")
+        rows[placement] = row
+        print(
+            f"  {placement:<12} fleet lifetime "
+            f"{row['fleet_lifetime_years']:10.3f} y, aged-device extra wear "
+            f"{row['device_rows'][0]['wear_bytes'] - pre_aged[0]:>8} B, "
+            f"accounting-exact={row['accounting_exact']}"
+        )
+    extension = (
+        rows["wear-aware"]["fleet_lifetime_years"]
+        / rows["round-robin"]["fleet_lifetime_years"]
+    )
+    print(f"  wear-aware lifetime extension: {extension:.2f}x")
+    return {
+        "pre_aged_bytes": pre_aged[0],
+        "rows": rows,
+        "lifetime_extension_factor": extension,
+    }
+
+
+def failover_study(side: int, trace: list[tuple[str, dict]]) -> dict:
+    """Kill half the fleet mid-run under transient faults; compare
+    against the fault-free run of the same trace."""
+    clean = run_fleet(side, trace, "wear-aware")
+    storm_end_s = len(trace) * SPACING_S
+    plan = FaultPlan(
+        kills=[
+            DeviceKill(0, storm_end_s * 0.3),
+            DeviceKill(1, storm_end_s * 0.6),
+        ],
+        op_rules=[OpFaultRule("dma", 0.1, max_faults=8)],
+        seed=2020,
+    )
+    storm = run_fleet(side, trace, "wear-aware", fault_plan=plan)
+
+    clean_results = clean.pop("results")
+    storm_results = storm.pop("results")
+    mismatches = 0
+    for request_id, storm_result in storm_results.items():
+        reference = clean_results.get(request_id)
+        if reference is None:
+            continue
+        for name in reference:
+            if not np.array_equal(reference[name], storm_result[name]):
+                mismatches += 1
+    throughput_fraction = storm["achieved_rps"] / clean["achieved_rps"]
+    print(
+        f"  fault-free: {clean['achieved_rps']:10.1f} req/s; storm "
+        f"({NUM_DEVICES - 2}/{NUM_DEVICES} devices survive): "
+        f"{storm['achieved_rps']:10.1f} req/s "
+        f"({throughput_fraction:.2f}x)"
+    )
+    print(
+        f"  storm: completed {storm['completed']}/{len(trace)}, "
+        f"retries {storm['fleet_stats'].get('retries', 0)}, migrations "
+        f"{storm['fleet_stats'].get('migrations', 0)}, faults "
+        f"{storm['fleet_stats'].get('faults_injected', 0)} "
+        f"(recovered {storm['fleet_stats'].get('faults_recovered', 0)}), "
+        f"bit-identical={mismatches == 0}"
+    )
+    return {
+        "clean": clean,
+        "storm": storm,
+        "throughput_fraction": throughput_fraction,
+        "bit_identical": mismatches == 0,
+    }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    side, count = SMOKE_SETUP if smoke else FULL_SETUP
+    trace = make_trace(side, count)
+    print(f"fleet failover benchmark: {NUM_DEVICES} devices, "
+          f"{count} requests of {side}x{side} GEMV")
+    print("lifetime study (heterogeneous-age fleet):")
+    lifetime = lifetime_study(side, trace)
+    print("failover study (fault storm kills half the fleet):")
+    failover = failover_study(side, trace)
+    return {
+        "benchmark": "fleet_failover",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "matrix_side": side,
+        "requests": count,
+        "num_devices": NUM_DEVICES,
+        "tenants": list(TENANTS),
+        "lifetime_study": lifetime,
+        "failover_study": failover,
+        "lifetime_extension_factor": lifetime["lifetime_extension_factor"],
+        "storm_throughput_fraction": failover["throughput_fraction"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR6.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if payload["lifetime_extension_factor"] < 1.5:
+        failures.append(
+            f"wear-aware placement extended fleet lifetime only "
+            f"{payload['lifetime_extension_factor']:.2f}x over round-robin "
+            f"(>= 1.5x required)"
+        )
+    storm = payload["failover_study"]["storm"]
+    if storm["completed"] != payload["requests"]:
+        failures.append(
+            f"fault storm lost requests: {storm['completed']}/"
+            f"{payload['requests']} completed"
+        )
+    if not payload["failover_study"]["bit_identical"]:
+        failures.append(
+            "storm responses diverged from the fault-free run"
+        )
+    for name, row in (
+        ("clean", payload["failover_study"]["clean"]),
+        ("storm", storm),
+        ("round-robin", payload["lifetime_study"]["rows"]["round-robin"]),
+        ("wear-aware", payload["lifetime_study"]["rows"]["wear-aware"]),
+    ):
+        if not row["accounting_exact"]:
+            failures.append(f"{name}: fleet accounting partition not exact")
+    fraction = payload["storm_throughput_fraction"]
+    if not 0.25 <= fraction < 1.0:
+        failures.append(
+            f"storm throughput fraction {fraction:.2f} outside [0.25, 1.0) — "
+            "degradation is not graceful"
+        )
+    assert not failures, "; ".join(failures)
+    print(
+        f"all fleet acceptance checks passed (lifetime extension "
+        f"{payload['lifetime_extension_factor']:.2f}x, storm throughput "
+        f"{fraction:.2f}x of fault-free)"
+    )
+
+
+if __name__ == "__main__":
+    main()

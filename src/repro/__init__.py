@@ -28,11 +28,12 @@ from repro.compiler import (
     compile_source,
 )
 from repro.codegen import OffloadExecutor, ExecutionReport
+from repro.fleet import FaultPlan, FleetConfig, FleetServer
 from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
 from repro.serve import CimServer, ServerConfig, TenantQuota
 from repro.system import CimSystem, SystemConfig
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CompileOptions",
@@ -46,6 +47,9 @@ __all__ = [
     "CimServer",
     "ServerConfig",
     "TenantQuota",
+    "FaultPlan",
+    "FleetConfig",
+    "FleetServer",
     "CimSystem",
     "SystemConfig",
     "ENGINE_MODES",

@@ -69,8 +69,13 @@ class KernelCompileCache:
     ``capacity`` bounds the in-memory entries (least-recently-used entries
     are evicted first).  With ``disk_dir`` set, every stored result is also
     pickled to ``<disk_dir>/<key>.pkl`` and in-memory misses fall back to
-    disk; disk I/O failures (unpicklable results, read-only filesystems,
-    corrupt files) silently degrade to a miss, never an error.
+    disk; disk I/O failures (unpicklable results, read-only filesystems)
+    silently degrade to a miss, never an error.  A corrupt or truncated
+    disk entry — a torn write from a crashed process, disk rot — also
+    degrades to a miss, and is additionally *quarantined* (renamed to
+    ``<key>.pkl.corrupt``, or unlinked if the rename fails) and counted in
+    :attr:`disk_corruptions`, so the poisoned entry is read at most once
+    and its slot becomes storable again.
 
     The cache is safe for concurrent use from multiple threads: one
     re-entrant lock serialises the LRU mutation and the hit/miss
@@ -91,6 +96,8 @@ class KernelCompileCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        #: Corrupt/truncated disk entries found (and quarantined) so far.
+        self.disk_corruptions = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -181,8 +188,29 @@ class KernelCompileCache:
         try:
             with open(path, "rb") as handle:
                 return pickle.load(handle)
+        except FileNotFoundError:
+            return None  # raced with another process; plain miss
         except Exception:
+            # Corrupt or truncated entry (torn write by a crashed process,
+            # disk rot, an incompatible pickle).  Quarantine it so the
+            # poison is never re-read on every future miss of this key —
+            # the entry degrades to one miss and the slot becomes
+            # storable again.
+            self._quarantine_corrupt(path)
             return None
+
+    def _quarantine_corrupt(self, path: Path) -> None:
+        with self._lock:
+            self.disk_corruptions += 1
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".corrupt"))
+        except OSError:
+            # Quarantine is best-effort (read-only dir, concurrent
+            # unlink...); fall back to removing the bad entry outright.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def __repr__(self) -> str:
         with self._lock:

@@ -7,7 +7,8 @@
   vs smart mapping of the Listing 2 fused kernels).
 * :mod:`repro.eval.tables` — Table I rendering and ASCII report formatting.
 * :mod:`repro.eval.tenants` — per-tenant serving bills (energy, wear as
-  Eq. 1 device lifetime, latency percentiles) for :class:`CimServer` runs.
+  Eq. 1 device lifetime, latency percentiles) for :class:`CimServer` runs,
+  plus per-device health/wear summaries for :class:`FleetServer` runs.
 """
 
 from repro.eval.metrics import geometric_mean, improvement_factor, edp
@@ -21,7 +22,11 @@ from repro.eval.experiments import (
 from repro.eval.lifetime import Figure5Data, figure5, figure5_simulated
 from repro.eval.tables import table1_rows, format_table, format_figure6, format_figure5
 from repro.eval.tenants import (
+    FleetDeviceRow,
     TenantUsageRow,
+    fleet_device_rows,
+    fleet_implied_lifetime_years,
+    format_fleet_table,
     format_tenant_table,
     tenant_usage_rows,
 )
@@ -42,7 +47,11 @@ __all__ = [
     "format_table",
     "format_figure6",
     "format_figure5",
+    "FleetDeviceRow",
     "TenantUsageRow",
+    "fleet_device_rows",
+    "fleet_implied_lifetime_years",
+    "format_fleet_table",
     "format_tenant_table",
     "tenant_usage_rows",
 ]

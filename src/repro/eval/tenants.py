@@ -70,6 +70,97 @@ def tenant_usage_rows(
     return rows
 
 
+@dataclass(frozen=True)
+class FleetDeviceRow:
+    """One fleet device's health and wear summary."""
+
+    device_id: int
+    state: str                      # "up" | "quarantined" | "drained"
+    leases: int
+    served: int                     # requests billed on this device
+    busy_s: float
+    wear_bytes: int                 # pre-fleet age + this run's writes
+    compensated_wear_bytes: int     # faulted-attempt wear (never billed)
+    energy_j: float
+    #: Eq. 1 lifetime (years) left if the run's write rate were sustained.
+    implied_lifetime_years: float
+
+
+def fleet_device_rows(
+    fleet,
+    cell_endurance_writes: float = DEFAULT_CELL_ENDURANCE_WRITES,
+) -> list[FleetDeviceRow]:
+    """Per-device rows of a :class:`~repro.fleet.server.FleetServer` run.
+
+    The fleet's implied lifetime is the *minimum* of these rows' — the
+    fleet dies with its most-worn device — which is exactly the quantity
+    wear-aware placement maximises.
+    """
+    import math
+
+    elapsed_s = fleet.clock.now_s
+    rows = []
+    for device in fleet.devices:
+        usages = fleet.ledger.device_usages(device.device_id)
+        comps = fleet.ledger.device_compensations(device.device_id)
+        run_wear = sum(u.wear_bytes for u in usages) + sum(
+            c.wear_bytes for c in comps
+        )
+        if elapsed_s > 0 and run_wear > 0:
+            seconds_per_year = 365.25 * 24 * 3600.0
+            rate_bytes_per_year = run_wear / elapsed_s * seconds_per_year
+        else:
+            rate_bytes_per_year = 0.0
+        rows.append(
+            FleetDeviceRow(
+                device_id=device.device_id,
+                state=device.state.value,
+                leases=device.leases,
+                served=len(usages),
+                busy_s=device.busy_s,
+                wear_bytes=device.total_wear_bytes,
+                compensated_wear_bytes=sum(c.wear_bytes for c in comps),
+                energy_j=math.fsum(
+                    [u.energy_j for u in usages] + [c.energy_j for c in comps]
+                ),
+                implied_lifetime_years=device.implied_lifetime_years(
+                    cell_endurance_writes, rate_bytes_per_year
+                ),
+            )
+        )
+    return rows
+
+
+def fleet_implied_lifetime_years(rows: list[FleetDeviceRow]) -> float:
+    """Eq. 1 lifetime of the fleet = lifetime of its most-worn device."""
+    if not rows:
+        return float("inf")
+    return min(row.implied_lifetime_years for row in rows)
+
+
+def format_fleet_table(rows: list[FleetDeviceRow]) -> str:
+    """ASCII rendering of the per-device fleet summary."""
+    header = (
+        f"{'device':>6} {'state':<12} {'leases':>6} {'srv':>5} "
+        f"{'busy [s]':>10} {'wear [B]':>10} {'comp [B]':>9} "
+        f"{'energy [J]':>12} {'lifetime [y]':>13}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lifetime = (
+            "inf"
+            if row.implied_lifetime_years == float("inf")
+            else f"{row.implied_lifetime_years:.3f}"
+        )
+        lines.append(
+            f"{row.device_id:>6} {row.state:<12} {row.leases:>6} "
+            f"{row.served:>5} {row.busy_s:>10.3e} {row.wear_bytes:>10} "
+            f"{row.compensated_wear_bytes:>9} {row.energy_j:>12.3e} "
+            f"{lifetime:>13}"
+        )
+    return "\n".join(lines)
+
+
 def format_tenant_table(rows: list[TenantUsageRow]) -> str:
     """ASCII rendering of the per-tenant bills."""
     header = (

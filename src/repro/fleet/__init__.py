@@ -1,0 +1,28 @@
+"""Fault-tolerant multi-device fleet tier (see :mod:`repro.fleet.server`)."""
+
+from repro.fleet.device import DeviceState, FleetDevice
+from repro.fleet.faults import CapacityDegrade, DeviceKill, FaultPlan, OpFaultRule
+from repro.fleet.placement import (
+    LeastLoadedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    WearAwarePlacement,
+    make_placement,
+)
+from repro.fleet.server import FleetConfig, FleetServer
+
+__all__ = [
+    "CapacityDegrade",
+    "DeviceKill",
+    "DeviceState",
+    "FaultPlan",
+    "FleetConfig",
+    "FleetDevice",
+    "FleetServer",
+    "LeastLoadedPlacement",
+    "OpFaultRule",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "WearAwarePlacement",
+    "make_placement",
+]

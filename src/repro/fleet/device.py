@@ -1,0 +1,134 @@
+"""One member of the emulated CIM fleet.
+
+A :class:`FleetDevice` bundles everything one device needs to serve
+leases on its own simulated timeline: a private
+:class:`~repro.system.system.CimSystem` (accelerator + runtime + BLAS),
+a private :class:`~repro.serve.clock.VirtualClock` (devices serve leases
+in *parallel* simulated time — the fleet clock only tracks arrivals and
+batching windows), and a :class:`~repro.serve.dispatch.LeaseExecutor`
+wired to the fleet-shared ledger/metrics/timeline with this device's id.
+
+The device also carries the state the placement policies and the fault
+machinery read: lifecycle (:class:`DeviceState`), accumulated busy time,
+capacity factor (shrunk by :class:`~repro.fleet.faults.CapacityDegrade`
+events) and total crossbar wear.  ``initial_wear_bytes`` models a device
+that joined the fleet already aged — heterogeneous fleets are where
+wear-aware placement pays off (see ``benchmarks/bench_fleet_failover.py``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.codegen.executor import OffloadExecutor
+from repro.hw.timeline import Timeline
+from repro.serve.accounting import AccountingLedger
+from repro.serve.dispatch import FaultHook, LeaseExecutor
+from repro.serve.clock import VirtualClock
+from repro.serve.metrics import MetricsRegistry
+from repro.system.config import SystemConfig
+from repro.system.system import CimSystem
+
+
+class DeviceState(enum.Enum):
+    """Lifecycle of a fleet member."""
+
+    #: Healthy: eligible for placement.
+    UP = "up"
+    #: Failed: no new leases; in-flight work is being migrated away.
+    QUARANTINED = "quarantined"
+    #: Failed and fully evacuated; terminal.
+    DRAINED = "drained"
+
+
+class FleetDevice:
+    """One emulated CIM device inside a :class:`~repro.fleet.server.FleetServer`."""
+
+    def __init__(
+        self,
+        device_id: int,
+        system_config: SystemConfig,
+        ledger: AccountingLedger,
+        metrics: MetricsRegistry,
+        timeline: Timeline,
+        scrub_leases: bool = True,
+        charge_service: Optional[Callable[[str, float], None]] = None,
+        fault_hook: Optional[FaultHook] = None,
+        initial_wear_bytes: int = 0,
+    ):
+        if initial_wear_bytes < 0:
+            raise ValueError("initial_wear_bytes cannot be negative")
+        self.device_id = device_id
+        self.system = CimSystem(system_config)
+        self.executor = OffloadExecutor(self.system)
+        self.clock = VirtualClock()
+        self.state = DeviceState.UP
+        self.capacity_factor = 1.0
+        self.initial_wear_bytes = initial_wear_bytes
+        self.busy_s = 0.0
+        self.leases = 0
+        self.lease_executor = LeaseExecutor(
+            system=self.system,
+            executor=self.executor,
+            clock=self.clock,
+            ledger=ledger,
+            metrics=metrics,
+            timeline=timeline,
+            scrub_leases=scrub_leases,
+            charge_service=charge_service,
+            device_id=device_id,
+            component=f"fleet.device{device_id}",
+            fault_hook=fault_hook,
+        )
+        self.system.runtime.cim_init(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def healthy(self) -> bool:
+        return self.state is DeviceState.UP
+
+    @property
+    def total_wear_bytes(self) -> int:
+        """Lifetime-model wear: bytes ever written to this device's
+        crossbars (pre-fleet age included)."""
+        return self.initial_wear_bytes + self.system.accelerator.total_cell_writes()
+
+    def implied_lifetime_years(
+        self, cell_endurance: float, writes_per_year_bytes: float
+    ) -> float:
+        """Eq. 1 lifetime this device would reach if its *current* wear
+        rate were sustained at ``writes_per_year_bytes``; the device's
+        accumulated wear is deducted from the endurance budget first."""
+        tile = self.system.accelerator.tile
+        size_bytes = tile.rows * tile.cols
+        total_budget = cell_endurance * size_bytes
+        remaining = max(0.0, total_budget - self.total_wear_bytes)
+        if writes_per_year_bytes <= 0:
+            return float("inf")
+        return remaining / writes_per_year_bytes
+
+    # ------------------------------------------------------------------
+    def quarantine(self) -> None:
+        if self.state is DeviceState.UP:
+            self.state = DeviceState.QUARANTINED
+
+    def drain(self) -> None:
+        if self.state is not DeviceState.DRAINED:
+            self.state = DeviceState.DRAINED
+
+    def degrade(self, factor: float) -> None:
+        """Shrink usable lease capacity; degradations compound."""
+        self.capacity_factor *= factor
+
+    def shutdown(self) -> None:
+        self.system.runtime.cim_shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"FleetDevice(id={self.device_id}, state={self.state.value}, "
+            f"wear={self.total_wear_bytes}B, busy={self.busy_s:.6f}s)"
+        )
+
+
+__all__ = ["DeviceState", "FleetDevice"]

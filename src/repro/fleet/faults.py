@@ -1,0 +1,163 @@
+"""Deterministic, replayable device-fault injection.
+
+A :class:`FaultPlan` scripts every failure the fleet will suffer, in
+simulated time, from three primitives:
+
+* :class:`DeviceKill` — the device dies at ``at_s`` (simulated seconds).
+  If it is mid-lease when its clock crosses the kill time, the in-flight
+  attempt's work is lost (compensated, never billed) and the rest of the
+  lease migrates; idle devices die quietly.  Death is permanent: the
+  device is quarantined, drained and never placed again.
+* :class:`CapacityDegrade` — at ``at_s`` the device's usable crossbar
+  capacity shrinks by ``factor`` (a flaky bank of PCM columns taken out
+  of service).  Degradation changes scheduling only — lease sizes shrink
+  and placement deprioritises the device — never computed values.
+* :class:`OpFaultRule` — transient, probabilistic faults of individual
+  operation classes (``"dma"``, ``"compile"``, ``"dispatch"``), drawn
+  from one seeded RNG.  A faulted operation costs the request one
+  attempt; the fleet retries it with capped exponential backoff.
+
+Everything is driven by the :class:`~repro.serve.clock.VirtualClock` and
+one ``random.Random(seed)``: for a fixed submission trace the same plan
+injects byte-identical fault sequences on every run, which is what makes
+the differential fault test (fault-free vs faulted run of the same trace)
+possible.  :meth:`FaultPlan.fresh` returns an unused copy of the plan so
+one description can drive many runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class DeviceKill:
+    """Permanent device death at ``at_s`` (simulated seconds)."""
+
+    device_id: int
+    at_s: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("kill time cannot be negative")
+
+
+@dataclass(frozen=True)
+class CapacityDegrade:
+    """At ``at_s`` the device retains ``factor`` of its lease capacity."""
+
+    device_id: int
+    at_s: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ValueError("degrade time cannot be negative")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError("capacity factor must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class OpFaultRule:
+    """Transient fault source for one operation class.
+
+    ``probability`` is the per-check fault chance drawn from the plan's
+    seeded RNG; ``device_id=None`` matches every device; ``max_faults``
+    caps how many faults the rule may inject in total (``None`` =
+    unlimited).
+    """
+
+    op: str                           # "dma" | "compile" | "dispatch"
+    probability: float
+    device_id: Optional[int] = None
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in ("dma", "compile", "dispatch"):
+            raise ValueError(f"unknown op class {self.op!r}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("fault probability must be in [0, 1]")
+        if self.max_faults is not None and self.max_faults < 1:
+            raise ValueError("max_faults must be >= 1 when given")
+
+
+class FaultPlan:
+    """One scripted, seeded fault scenario for a fleet run.
+
+    The plan is consumed by a single :class:`~repro.fleet.server.
+    FleetServer` run (RNG state and per-rule counters advance as faults
+    are drawn); build a fresh copy with :meth:`fresh` to replay the same
+    scenario.  At most one kill per device is allowed — death is
+    permanent, a second kill could never fire.
+    """
+
+    def __init__(
+        self,
+        kills: tuple[DeviceKill, ...] | list[DeviceKill] = (),
+        degrades: tuple[CapacityDegrade, ...] | list[CapacityDegrade] = (),
+        op_rules: tuple[OpFaultRule, ...] | list[OpFaultRule] = (),
+        seed: int = 0,
+    ):
+        self.kills = tuple(kills)
+        seen: set[int] = set()
+        for kill in self.kills:
+            if kill.device_id in seen:
+                raise ValueError(
+                    f"device {kill.device_id} has more than one kill event"
+                )
+            seen.add(kill.device_id)
+        self.degrades = tuple(sorted(degrades, key=lambda d: (d.at_s, d.device_id)))
+        self.op_rules = tuple(op_rules)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._rule_fault_counts = [0] * len(self.op_rules)
+        self._kill_times = {kill.device_id: kill.at_s for kill in self.kills}
+
+    # ------------------------------------------------------------------
+    def fresh(self) -> "FaultPlan":
+        """An unused copy of this plan (same scenario, reset RNG/counters)."""
+        return FaultPlan(
+            kills=self.kills,
+            degrades=self.degrades,
+            op_rules=self.op_rules,
+            seed=self.seed,
+        )
+
+    # ------------------------------------------------------------------
+    def kill_time(self, device_id: int) -> Optional[float]:
+        return self._kill_times.get(device_id)
+
+    def draw_op_fault(self, device_id: int, op: str) -> Optional[OpFaultRule]:
+        """One seeded draw per matching rule; returns the first rule that
+        fires, or ``None``.  Deterministic: for a fixed sequence of calls
+        the same faults fire on every run."""
+        fired: Optional[OpFaultRule] = None
+        for index, rule in enumerate(self.op_rules):
+            if rule.op != op:
+                continue
+            if rule.device_id is not None and rule.device_id != device_id:
+                continue
+            if (
+                rule.max_faults is not None
+                and self._rule_fault_counts[index] >= rule.max_faults
+            ):
+                continue
+            # Always consume the draw, even after an earlier rule fired —
+            # the RNG stream must not depend on which rule matched first.
+            draw = self._rng.random()
+            if fired is None and draw < rule.probability:
+                self._rule_fault_counts[index] += 1
+                fired = rule
+        return fired
+
+    @property
+    def op_faults_drawn(self) -> int:
+        return sum(self._rule_fault_counts)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(kills={len(self.kills)}, degrades={len(self.degrades)}, "
+            f"op_rules={len(self.op_rules)}, seed={self.seed})"
+        )

@@ -9,7 +9,12 @@ device ledgers, and a serving metrics registry.  See
 :class:`~repro.serve.server.CimServer` and ``docs/serving.md``.
 """
 
-from repro.serve.accounting import AccountingLedger, RequestUsage, TenantAccount
+from repro.serve.accounting import (
+    AccountingLedger,
+    FaultCompensation,
+    RequestUsage,
+    TenantAccount,
+)
 from repro.serve.admission import AdmissionController, TenantQuota
 from repro.serve.batcher import (
     DynamicBatcher,
@@ -19,7 +24,15 @@ from repro.serve.batcher import (
     stationary_operand_arrays,
 )
 from repro.serve.clock import VirtualClock
-from repro.serve.errors import AdmissionError, ServeError
+from repro.serve.dispatch import FaultedRequest, LeaseExecutor
+from repro.serve.errors import (
+    AdmissionError,
+    DeviceFault,
+    HandleStateError,
+    LeaseAborted,
+    RetryExhausted,
+    ServeError,
+)
 from repro.serve.metrics import MetricsRegistry, percentile
 from repro.serve.request import RequestHandle, RequestStatus, TenantRequest
 from repro.serve.server import CimServer, ServerConfig
@@ -29,12 +42,19 @@ __all__ = [
     "AdmissionController",
     "AdmissionError",
     "CimServer",
+    "DeviceFault",
     "DynamicBatcher",
+    "FaultCompensation",
+    "FaultedRequest",
     "FusedGemvPlan",
+    "HandleStateError",
+    "LeaseAborted",
+    "LeaseExecutor",
     "MetricsRegistry",
     "RequestHandle",
     "RequestStatus",
     "RequestUsage",
+    "RetryExhausted",
     "ServeError",
     "ServerConfig",
     "TenantAccount",

@@ -17,13 +17,22 @@ model of :mod:`repro.hw.endurance`: a tenant's implied device lifetime is
 ``cell_endurance * crossbar_size / tenant_write_traffic``, and admission
 quotas are expressed as byte budgets derived from a minimum acceptable
 lifetime (:func:`repro.hw.endurance.wear_budget_bytes`).
+
+At the fleet tier every record carries a ``device_id``, and work a device
+performed for an attempt that was then lost to an injected fault (the
+device died before the response left it) is *compensated*: recorded as a
+:class:`FaultCompensation` attributed to the fault, never billed to the
+tenant.  Per-device physical ledgers then still partition exactly —
+``tenant bills + compensations + housekeeping == device totals`` on every
+device (:meth:`AccountingLedger.verify_fleet_partition`) — with no lost
+and no double-billed work even when requests are retried across devices.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.hw.endurance import EnduranceTracker, system_lifetime_years
 
@@ -47,6 +56,8 @@ class RequestUsage:
     gemv_count: int
     macs: int
     dma_bytes: int
+    #: Fleet tier: device that performed (and is debited for) the work.
+    device_id: int = 0
 
     @property
     def energy_j(self) -> float:
@@ -55,6 +66,42 @@ class RequestUsage:
     @property
     def wear_bytes(self) -> int:
         """Crossbar write volume (one byte per programmed 8-bit cell)."""
+        return self.crossbar_cell_writes
+
+
+@dataclass(frozen=True)
+class FaultCompensation:
+    """Physical work a device performed for an attempt lost to a fault.
+
+    The work happened (the device's wear counters and energy ledger moved)
+    but the tenant is never billed for it — the request was retried and
+    billed exactly once, on the attempt that actually produced its
+    response.  Compensation records keep the per-device partition exact:
+    they absorb the faulted attempt's measured deltas on the fault's side
+    of the ledger.
+    """
+
+    request_id: int
+    tenant: str
+    device_id: int
+    batch_id: int
+    at_s: float                       # device time the fault surfaced
+    reason: str                       # str(fault), e.g. "LeaseAborted: ..."
+    op: str                           # faulted operation class
+    offload_energy_j: float
+    accelerator_energy_j: float
+    crossbar_cell_writes: int
+    crossbar_write_ops: int
+    gemv_count: int
+    macs: int
+    dma_bytes: int
+
+    @property
+    def energy_j(self) -> float:
+        return self.offload_energy_j + self.accelerator_energy_j
+
+    @property
+    def wear_bytes(self) -> int:
         return self.crossbar_cell_writes
 
 
@@ -150,6 +197,10 @@ class AccountingLedger:
         #: (releasing lease buffers), charged to the device ledger but not
         #: to any single tenant request.
         self.housekeeping_energy_j_records: list[float] = []
+        #: Device that performed each housekeeping record (parallel list).
+        self.housekeeping_device_ids: list[int] = []
+        #: Work lost to injected faults — reconciled here, never billed.
+        self.compensations: list[FaultCompensation] = []
 
     # ------------------------------------------------------------------
     def account(self, tenant: str) -> TenantAccount:
@@ -163,9 +214,13 @@ class AccountingLedger:
     def record_rejection(self, tenant: str) -> None:
         self.account(tenant).rejected += 1
 
-    def record_housekeeping(self, energy_j: float) -> None:
+    def record_housekeeping(self, energy_j: float, device_id: int = 0) -> None:
         if energy_j != 0.0:
             self.housekeeping_energy_j_records.append(energy_j)
+            self.housekeeping_device_ids.append(device_id)
+
+    def record_compensation(self, compensation: FaultCompensation) -> None:
+        self.compensations.append(compensation)
 
     # ------------------------------------------------------------------
     # Device totals (the partition view)
@@ -173,46 +228,75 @@ class AccountingLedger:
     def all_usages(self) -> list[RequestUsage]:
         return [u for account in self.tenants.values() for u in account.usages]
 
+    def device_usages(self, device_id: int) -> list[RequestUsage]:
+        return [u for u in self.all_usages() if u.device_id == device_id]
+
+    def device_compensations(self, device_id: int) -> list[FaultCompensation]:
+        return [c for c in self.compensations if c.device_id == device_id]
+
     @property
     def device_energy_j(self) -> float:
         """Total energy across every request of every tenant plus server
-        housekeeping.  ``fsum`` over the underlying records makes this
-        identical to summing the per-tenant accounts in any order."""
+        housekeeping and fault compensations.  ``fsum`` over the
+        underlying records makes this identical to summing the per-tenant
+        accounts in any order."""
         return math.fsum(
             [u.energy_j for u in self.all_usages()]
+            + [c.energy_j for c in self.compensations]
             + self.housekeeping_energy_j_records
         )
 
     @property
     def device_accelerator_energy_j(self) -> float:
-        return math.fsum(u.accelerator_energy_j for u in self.all_usages())
+        return math.fsum(
+            [u.accelerator_energy_j for u in self.all_usages()]
+            + [c.accelerator_energy_j for c in self.compensations]
+        )
 
     @property
     def device_wear_bytes(self) -> int:
-        return sum(u.wear_bytes for u in self.all_usages())
+        return sum(u.wear_bytes for u in self.all_usages()) + sum(
+            c.wear_bytes for c in self.compensations
+        )
 
     @property
     def device_crossbar_write_ops(self) -> int:
-        return sum(u.crossbar_write_ops for u in self.all_usages())
+        return sum(u.crossbar_write_ops for u in self.all_usages()) + sum(
+            c.crossbar_write_ops for c in self.compensations
+        )
 
     @property
     def device_gemv_count(self) -> int:
-        return sum(u.gemv_count for u in self.all_usages())
+        return sum(u.gemv_count for u in self.all_usages()) + sum(
+            c.gemv_count for c in self.compensations
+        )
 
     @property
     def device_macs(self) -> int:
-        return sum(u.macs for u in self.all_usages())
+        return sum(u.macs for u in self.all_usages()) + sum(
+            c.macs for c in self.compensations
+        )
 
     @property
     def housekeeping_energy_j(self) -> float:
         return math.fsum(self.housekeeping_energy_j_records)
+
+    @property
+    def compensated_energy_j(self) -> float:
+        return math.fsum(c.energy_j for c in self.compensations)
+
+    @property
+    def compensated_wear_bytes(self) -> int:
+        return sum(c.wear_bytes for c in self.compensations)
 
     # ------------------------------------------------------------------
     def verify_partition(self, accelerator) -> dict[str, bool]:
         """Cross-check the accounting partition against the accelerator's
         own ledgers.  Integer wear/work counters must agree exactly; the
         energy roll-up (floats accumulated in a different order by the
-        hardware ledger) must agree to float precision."""
+        hardware ledger) must agree to float precision.  Compensated
+        (faulted-attempt) work counts toward the device totals — the
+        device physically performed it — but never toward a tenant."""
         acc_energy = accelerator.total_energy_j()
         own_energy = self.device_accelerator_energy_j
         checks = {
@@ -226,4 +310,62 @@ class AccountingLedger:
                 own_energy, acc_energy, rel_tol=1e-9, abs_tol=1e-18
             ),
         }
+        return checks
+
+    def verify_fleet_partition(self, accelerators: Mapping[int, object]) -> dict[str, bool]:
+        """Fleet-wide exactly-once check: on *every* device, billed tenant
+        work plus fault compensations reconciles exactly with that
+        device's physical ledgers, and the per-device records partition
+        the fleet totals (nothing lost, nothing double-billed).
+
+        ``accelerators`` maps ``device_id`` to the device's accelerator
+        (its hardware ledger of record).  Integer counters compare by
+        ``==``; energies via order-independent ``fsum`` to float
+        precision.
+        """
+        checks: dict[str, bool] = {}
+        for device_id, accelerator in sorted(accelerators.items()):
+            usages = self.device_usages(device_id)
+            comps = self.device_compensations(device_id)
+            prefix = f"device{device_id}"
+            checks[f"{prefix}.cell_writes"] = (
+                sum(u.wear_bytes for u in usages) + sum(c.wear_bytes for c in comps)
+                == accelerator.total_cell_writes()
+            )
+            checks[f"{prefix}.macs"] = (
+                sum(u.macs for u in usages) + sum(c.macs for c in comps)
+                == accelerator.total_macs()
+            )
+            checks[f"{prefix}.gemv_count"] = sum(u.gemv_count for u in usages) + sum(
+                c.gemv_count for c in comps
+            ) == sum(run.gemv_count for run in accelerator.completed_runs)
+            checks[f"{prefix}.write_ops"] = sum(
+                u.crossbar_write_ops for u in usages
+            ) + sum(c.crossbar_write_ops for c in comps) == sum(
+                run.crossbar_write_ops for run in accelerator.completed_runs
+            )
+            checks[f"{prefix}.energy"] = math.isclose(
+                math.fsum(
+                    [u.accelerator_energy_j for u in usages]
+                    + [c.accelerator_energy_j for c in comps]
+                ),
+                accelerator.total_energy_j(),
+                rel_tol=1e-9,
+                abs_tol=1e-18,
+            )
+        # Every record must belong to a known device (no orphaned bills).
+        known = set(accelerators)
+        checks["no_orphan_records"] = all(
+            u.device_id in known for u in self.all_usages()
+        ) and all(c.device_id in known for c in self.compensations)
+        # The per-device partition must also exhaust the fleet totals.
+        checks["fleet_wear_total"] = self.device_wear_bytes == sum(
+            accelerators[d].total_cell_writes() for d in accelerators
+        )
+        checks["fleet_energy_total"] = math.isclose(
+            self.device_accelerator_energy_j,
+            math.fsum(accelerators[d].total_energy_j() for d in accelerators),
+            rel_tol=1e-9,
+            abs_tol=1e-18,
+        )
         return checks

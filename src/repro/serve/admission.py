@@ -20,11 +20,12 @@ priorities (weight 2 receives twice the service share under contention).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.serve.accounting import AccountingLedger
-from repro.serve.request import RequestStatus, TenantRequest
+from repro.serve.request import TenantRequest
 
 
 @dataclass(frozen=True)
@@ -69,6 +70,11 @@ class AdmissionController:
         self.queues: dict[str, list[TenantRequest]] = {}
         #: Attained service time per tenant, the fair-share currency.
         self.attained_s: dict[str, float] = {}
+        #: Graceful degradation: the fleet tier shrinks every tenant's
+        #: effective queue bound by this factor as devices die, so the
+        #: backlog the (smaller) fleet must eventually serve stays bounded
+        #: instead of collapsing into unbounded queueing delay.
+        self.depth_scale: float = 1.0
 
     # ------------------------------------------------------------------
     def set_quota(self, tenant: str, quota: TenantQuota) -> None:
@@ -100,9 +106,16 @@ class AdmissionController:
         quota = self.quota(request.tenant)
         queue = self.queue(request.tenant)
         reason: Optional[str] = None
-        if len(queue) >= quota.max_queue_depth:
+        effective_depth = self.effective_queue_depth(quota)
+        if len(queue) >= effective_depth:
             reason = (
-                f"queue full ({len(queue)}/{quota.max_queue_depth} requests)"
+                f"queue full ({len(queue)}/{effective_depth} requests"
+                + (
+                    f", tightened from {quota.max_queue_depth} at "
+                    f"{self.depth_scale:.2f} fleet capacity)"
+                    if effective_depth != quota.max_queue_depth
+                    else ")"
+                )
             )
         else:
             account = self.ledger.account(request.tenant)
@@ -123,14 +136,24 @@ class AdmissionController:
                     f">= budget {quota.energy_budget_j:.3e} J)"
                 )
         if reason is not None:
-            request.handle.status = RequestStatus.REJECTED
-            request.handle.reject_reason = reason
+            request.handle.mark_rejected(reason)
             self.ledger.record_rejection(request.tenant)
             return False
-        request.handle.status = RequestStatus.QUEUED
-        request.handle.admitted_s = now_s
+        request.handle.mark_queued(now_s)
         queue.append(request)
         return True
+
+    def effective_queue_depth(self, quota: TenantQuota) -> int:
+        """Queue bound after graceful-degradation tightening (never < 1,
+        so a shrunken fleet still makes progress request by request)."""
+        return max(1, math.ceil(quota.max_queue_depth * self.depth_scale))
+
+    def requeue(self, request: TenantRequest) -> None:
+        """Put an already-admitted request back in its tenant queue (fleet
+        retry / lease migration).  Bypasses quota checks — admission was
+        already granted; re-judging it would turn a device fault into a
+        spurious rejection."""
+        self.queue(request.tenant).append(request)
 
     # ------------------------------------------------------------------
     # Fair-share scheduling

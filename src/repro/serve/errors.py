@@ -1,6 +1,8 @@
-"""Errors raised by the multi-tenant serving layer."""
+"""Errors raised by the multi-tenant serving layer and the fleet tier."""
 
 from __future__ import annotations
+
+from typing import Optional
 
 
 class ServeError(RuntimeError):
@@ -11,3 +13,51 @@ class AdmissionError(ServeError):
     """A request was refused by the admission controller (backpressure or
     an exhausted tenant quota).  Carried on the rejected handle; raised
     when the caller asks the handle for its result."""
+
+
+class HandleStateError(ServeError):
+    """An illegal :class:`~repro.serve.request.RequestHandle` transition —
+    resolving an already-terminal handle (e.g. a retry racing a fault
+    abort).  Raised instead of silently overwriting status or billing."""
+
+
+class DeviceFault(ServeError):
+    """An injected (or emulated) device-level failure.
+
+    ``fatal`` faults take the whole device down (the fleet quarantines it
+    and migrates its in-flight lease); transient faults fail only the one
+    operation and the request is retried with backoff.  ``op`` names the
+    faulted operation class (``"dma"``, ``"compile"``, ``"dispatch"`` —
+    or ``"device"`` for whole-device deaths).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        device_id: int,
+        op: str = "dispatch",
+        fatal: bool = False,
+    ):
+        super().__init__(message)
+        self.device_id = device_id
+        self.op = op
+        self.fatal = fatal
+
+
+class LeaseAborted(DeviceFault):
+    """The device died mid-lease: the current attempt's work is lost
+    (compensated in the ledger, never billed to the tenant) and every
+    unserved request of the lease migrates to a healthy device."""
+
+    def __init__(self, message: str, device_id: int, op: str = "device"):
+        super().__init__(message, device_id=device_id, op=op, fatal=True)
+
+
+class RetryExhausted(ServeError):
+    """A request faulted on every allowed attempt; its handle resolves to
+    ``FAILED`` with the last fault as the reason."""
+
+    def __init__(self, message: str, attempts: int, last_fault: Optional[DeviceFault] = None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_fault = last_fault

@@ -54,6 +54,14 @@ class MetricsRegistry:
         self.compile_cache_misses = 0
         self.peak_queue_depth = 0
         self.peak_queue_tenant: Optional[str] = None
+        # Fleet health (populated only by the fleet tier).
+        self.device_states: dict[int, str] = {}
+        self.retries = 0
+        self.migrations = 0
+        self.faults_injected = 0
+        self.faults_by_op: dict[str, int] = {}
+        self.faults_recovered = 0
+        self.faults_unrecovered = 0
 
     # ------------------------------------------------------------------
     # Observations pushed by the server
@@ -89,6 +97,30 @@ class MetricsRegistry:
 
     def observe_failure(self) -> None:
         self.failed += 1
+
+    # ------------------------------------------------------------------
+    # Fleet-tier observations
+    # ------------------------------------------------------------------
+    def observe_device_state(self, device_id: int, state: str) -> None:
+        self.device_states[device_id] = state
+
+    def observe_fault(self, op: str) -> None:
+        self.faults_injected += 1
+        self.faults_by_op[op] = self.faults_by_op.get(op, 0) + 1
+
+    def observe_retry(self) -> None:
+        self.retries += 1
+
+    def observe_migration(self) -> None:
+        self.migrations += 1
+
+    def observe_recovery(self) -> None:
+        """A previously-faulted request was eventually served to success."""
+        self.faults_recovered += 1
+
+    def observe_unrecovered(self) -> None:
+        """A faulted request exhausted its retries (or had no device left)."""
+        self.faults_unrecovered += 1
 
     def observe_compile(self, hits_delta: int, misses_delta: int) -> None:
         self.compile_cache_hits += hits_delta
@@ -140,6 +172,23 @@ class MetricsRegistry:
                 "hit_rate": round(self.compile_cache_hit_rate, 4),
             },
         }
+        if self.device_states:
+            states = list(self.device_states.values())
+            snap["fleet"] = {
+                "devices": {
+                    str(device_id): state
+                    for device_id, state in sorted(self.device_states.items())
+                },
+                "up": states.count("up"),
+                "quarantined": states.count("quarantined"),
+                "drained": states.count("drained"),
+                "retries": self.retries,
+                "migrations": self.migrations,
+                "faults_injected": self.faults_injected,
+                "faults_by_op": dict(sorted(self.faults_by_op.items())),
+                "faults_recovered": self.faults_recovered,
+                "faults_unrecovered": self.faults_unrecovered,
+            }
         if self.latencies_s:
             snap["latency_s"] = {
                 "p50": self.latency_percentile_s(50),

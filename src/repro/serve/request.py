@@ -7,6 +7,12 @@ but synchronous: ``result()`` raises if the request is still pending (the
 caller must drive :meth:`CimServer.drain` / :meth:`CimServer.step` first)
 — there is no blocking, because simulated time only moves when the event
 loop moves it.
+
+State transitions are idempotent-guarded: a handle that has reached a
+terminal status (``COMPLETED``/``REJECTED``/``FAILED``) can never be
+resolved again — a retry racing a fault abort raises
+:class:`~repro.serve.errors.HandleStateError` instead of silently
+overwriting the status, the result or the billing timestamps.
 """
 
 from __future__ import annotations
@@ -18,7 +24,7 @@ from typing import Mapping, Optional
 import numpy as np
 
 from repro.codegen.executor import ExecutionReport
-from repro.serve.errors import AdmissionError, ServeError
+from repro.serve.errors import AdmissionError, HandleStateError, ServeError
 
 
 class RequestStatus(enum.Enum):
@@ -29,6 +35,12 @@ class RequestStatus(enum.Enum):
     COMPLETED = "completed"   # dispatched and finished; result available
     REJECTED = "rejected"     # refused by admission control
     FAILED = "failed"         # dispatched but raised (bad payload, exec error)
+
+
+#: Statuses a handle can never leave.
+TERMINAL_STATUSES = frozenset(
+    {RequestStatus.COMPLETED, RequestStatus.REJECTED, RequestStatus.FAILED}
+)
 
 
 @dataclass
@@ -66,18 +78,89 @@ class RequestHandle:
     #: Which dispatch batch served this request and how full it was.
     batch_id: Optional[int] = None
     batch_size: Optional[int] = None
+    #: Fleet tier: device that served the request, execution attempts made
+    #: (1 = served first try), and lease migrations after device deaths.
+    device_id: Optional[int] = None
+    attempts: int = 0
+    migrations: int = 0
     #: Execution accounting of this request alone.
     report: Optional[ExecutionReport] = None
     _result: Optional[dict[str, np.ndarray]] = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
+    # Guarded transitions
+    # ------------------------------------------------------------------
+    def _require_not_terminal(self, target: RequestStatus) -> None:
+        if self.status in TERMINAL_STATUSES:
+            raise HandleStateError(
+                f"request {self.request_id} of tenant {self.tenant!r} is "
+                f"already {self.status.value}; cannot transition to "
+                f"{target.value} (terminal handles are immutable)"
+            )
+
+    def mark_queued(self, admitted_s: float) -> None:
+        """SUBMITTED -> QUEUED (admission).  Idempotent-guarded."""
+        self._require_not_terminal(RequestStatus.QUEUED)
+        self.status = RequestStatus.QUEUED
+        self.admitted_s = admitted_s
+
+    def mark_rejected(self, reason: str) -> None:
+        """Resolve as REJECTED (admission backpressure / quota)."""
+        self._require_not_terminal(RequestStatus.REJECTED)
+        self.status = RequestStatus.REJECTED
+        self.reject_reason = reason
+
+    def mark_completed(
+        self,
+        completed_s: float,
+        batch_id: int,
+        batch_size: int,
+        report: ExecutionReport,
+        result: dict[str, np.ndarray],
+        device_id: Optional[int] = None,
+    ) -> None:
+        """Resolve as COMPLETED with the result and its bill."""
+        self._require_not_terminal(RequestStatus.COMPLETED)
+        self.status = RequestStatus.COMPLETED
+        self.completed_s = completed_s
+        self.batch_id = batch_id
+        self.batch_size = batch_size
+        self.report = report
+        self.device_id = device_id
+        self._result = result
+
+    def mark_failed(
+        self,
+        completed_s: float,
+        reason: str,
+        batch_id: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        report: Optional[ExecutionReport] = None,
+        device_id: Optional[int] = None,
+    ) -> None:
+        """Resolve as FAILED (bad payload, execution error, retries spent)."""
+        self._require_not_terminal(RequestStatus.FAILED)
+        self.status = RequestStatus.FAILED
+        self.reject_reason = reason
+        self.completed_s = completed_s
+        if batch_id is not None:
+            self.batch_id = batch_id
+        if batch_size is not None:
+            self.batch_size = batch_size
+        if report is not None:
+            self.report = report
+        if device_id is not None:
+            self.device_id = device_id
+
+    # ------------------------------------------------------------------
     @property
     def done(self) -> bool:
-        return self.status in (
-            RequestStatus.COMPLETED,
-            RequestStatus.REJECTED,
-            RequestStatus.FAILED,
-        )
+        return self.status in TERMINAL_STATUSES
+
+    @property
+    def retries(self) -> int:
+        """Execution attempts beyond the first (0 on a fault-free path)."""
+        return max(0, self.attempts - 1)
 
     @property
     def latency_s(self) -> Optional[float]:

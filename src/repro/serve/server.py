@@ -47,24 +47,20 @@ from typing import Mapping, Optional, Union
 
 import numpy as np
 
-from repro.codegen.executor import ExecutionReport, OffloadExecutor
+from repro.codegen.executor import OffloadExecutor
 from repro.compiler.cache import KernelCompileCache, compile_fingerprint
 from repro.compiler.driver import TdoCimCompiler
 from repro.compiler.options import CompileOptions
 from repro.hw.timeline import Timeline
 from repro.ir.program import Program
-from repro.serve.accounting import AccountingLedger, RequestUsage
+from repro.serve.accounting import AccountingLedger
 from repro.serve.admission import AdmissionController, TenantQuota
-from repro.serve.batcher import (
-    DynamicBatcher,
-    FusedGemvPlan,
-    batch_signature,
-    extract_fused_gemv_plan,
-)
+from repro.serve.batcher import DynamicBatcher, batch_signature
 from repro.serve.clock import VirtualClock
+from repro.serve.dispatch import LeaseExecutor
 from repro.serve.errors import ServeError
 from repro.serve.metrics import MetricsRegistry
-from repro.serve.request import RequestHandle, RequestStatus, TenantRequest
+from repro.serve.request import RequestHandle, TenantRequest
 from repro.system.config import SystemConfig
 from repro.system.system import CimSystem
 
@@ -138,6 +134,17 @@ class CimServer:
         self.metrics = MetricsRegistry()
         #: Serving-level lease/occupancy timeline (one event per lease).
         self.timeline = Timeline()
+        #: The dispatch half of the server (shared with the fleet tier).
+        self.lease_executor = LeaseExecutor(
+            system=self.system,
+            executor=self.executor,
+            clock=self.clock,
+            ledger=self.ledger,
+            metrics=self.metrics,
+            timeline=self.timeline,
+            scrub_leases=self.config.scrub_leases,
+            charge_service=self.admission.charge_service,
+        )
         # Submissions are enforced non-decreasing in arrival time, so the
         # arrival queue is consumed strictly from the left.
         self._arrivals: deque[TenantRequest] = deque()
@@ -318,247 +325,6 @@ class CimServer:
     # ------------------------------------------------------------------
     def _dispatch(self, batch: list[TenantRequest]) -> None:
         self._batch_counter += 1
-        batch_id = self._batch_counter
-        if self.config.scrub_leases:
-            # Lease isolation: a batch never inherits the previous
-            # tenant's programmed operand.
-            self.system.accelerator.micro_engine.invalidate_residency()
-        plan = extract_fused_gemv_plan(batch[0].program, batch[0].params)
-        lease_start_s = self.clock.now_s
-        if plan is not None:
-            self._dispatch_fused(batch, plan, batch_id)
-        else:
-            self._dispatch_programs(batch, batch_id)
-        self.timeline.record(
-            "serve.device",
-            f"lease[{batch[0].signature[:8]}]x{len(batch)}",
-            lease_start_s,
-            self.clock.now_s - lease_start_s,
-        )
-        self.metrics.observe_batch(len(batch), fused=plan is not None)
-
-    def _dispatch_programs(self, batch: list[TenantRequest], batch_id: int) -> None:
-        """Generic lease: run each request's whole program back to back.
-
-        Within the lease the crossbar keeps the operand of the previous
-        request resident, and because the runtime releases every device
-        buffer between requests, identical programs re-allocate at
-        identical addresses — so compatible followers skip the
-        reprogramming entirely (the PR 1 residency path) while staying
-        bit-identical to their direct execution.
-        """
-        for request in batch:
-
-            def run_program(request=request):
-                return self.executor.run(
-                    request.program,
-                    request.params,
-                    request.arrays,
-                    reset_stats=False,
-                    engine=request.engine,
-                )
-
-            self._execute_guarded(request, batch_id, len(batch), run_program)
-            self._release_lease_buffers()
-
-    def _dispatch_fused(
-        self, batch: list[TenantRequest], plan: FusedGemvPlan, batch_id: int
-    ) -> None:
-        """Fused GEMV lease: upload the stationary matrix once, then
-        stream one ``sgemv`` per request against the resident operand."""
-        runtime = self.system.runtime
-        buffers: dict[str, object] = {"a": None, "x": None, "y": None}
-
-        def run_fused(request: TenantRequest):
-            if buffers["a"] is None:
-                # Lease setup — the request that establishes the lease
-                # supplies the operands and pays for the shared upload.
-                # (Batch compatibility makes the stationary matrix
-                # byte-identical across members, so any establisher
-                # serves the whole lease; a malformed member must only
-                # ever fail itself.)
-                matrix = request.arrays[plan.array_a]
-                buffers["a"] = runtime.cim_malloc(matrix.nbytes)
-                buffers["x"] = runtime.cim_malloc(
-                    request.arrays[plan.array_x].nbytes
-                )
-                buffers["y"] = runtime.cim_malloc(
-                    request.arrays[plan.array_y].nbytes
-                )
-                runtime.cim_host_to_dev(buffers["a"], matrix)
-            x = request.arrays[plan.array_x]
-            y = request.arrays[plan.array_y]
-            runtime.cim_host_to_dev(buffers["x"], x)
-            if plan.uploads_y:
-                runtime.cim_host_to_dev(buffers["y"], y)
-            self.system.blas.sgemv(
-                plan.trans_a,
-                plan.m,
-                plan.n,
-                plan.alpha,
-                buffers["a"],
-                plan.n,
-                buffers["x"],
-                plan.beta,
-                buffers["y"],
-            )
-            result_y = runtime.cim_dev_to_host(buffers["y"], y.shape).astype(
-                y.dtype
-            )
-            outputs = {
-                name: np.array(value, copy=True)
-                for name, value in request.arrays.items()
-            }
-            outputs[plan.array_y] = result_y
-            return outputs, None
-
-        try:
-            for request in batch:
-                ok = self._execute_guarded(
-                    request,
-                    batch_id,
-                    len(batch),
-                    lambda request=request: run_fused(request),
-                    runtime_calls=["polly_cimBlasSGemv"],
-                )
-                if not ok:
-                    # A failed request may leave the lease half set up;
-                    # scrub it so the next request re-establishes cleanly.
-                    self._release_lease_buffers()
-                    buffers["a"] = buffers["x"] = buffers["y"] = None
-        finally:
-            self._release_lease_buffers()
-
-    def _execute_guarded(
-        self,
-        request: TenantRequest,
-        batch_id: int,
-        batch_size: int,
-        thunk,
-        runtime_calls: Optional[list[str]] = None,
-    ) -> bool:
-        """Execute one request; a failure (bad payload, execution error)
-        resolves its handle as FAILED — billing the tenant for the work
-        the device actually performed — instead of killing the event loop
-        and stranding every other queued request.  Returns ``True`` on
-        success."""
-        request.handle.dispatched_s = self.clock.now_s
-        overhead = self.system.host_overhead
-        energy0 = overhead.energy_j
-        time0 = overhead.time_s
-        instr0 = overhead.instructions
-        runs_before = len(self.system.accelerator.completed_runs)
-        failure: Optional[str] = None
-        outputs: Optional[dict[str, np.ndarray]] = None
-        report: Optional[ExecutionReport] = None
-        try:
-            outputs, report = thunk()
-        except Exception as exc:
-            failure = f"{type(exc).__name__}: {exc}"
-        if report is None:
-            # Fused path (returns no report) and the failure path both
-            # account from the measured ledger deltas.
-            report = ExecutionReport(program_name=request.program.name)
-            report.offload_instructions = overhead.instructions - instr0
-            report.offload_energy_j = overhead.energy_j - energy0
-            report.offload_time_s = overhead.time_s - time0
-            if runtime_calls is not None and failure is None:
-                report.runtime_calls = list(runtime_calls)
-            for run in self.system.accelerator.completed_runs[runs_before:]:
-                report.accelerator_energy_j += run.energy_j
-                report.accelerator_time_s += run.latency_s
-                report.gemv_count += run.gemv_count
-                report.crossbar_cell_writes += run.crossbar_cell_writes
-                report.crossbar_write_ops += run.crossbar_write_ops
-                report.accelerator_macs += run.macs
-                report.dma_bytes += run.dma_bytes
-                for key, value in run.energy_breakdown.items():
-                    report.accelerator_energy_breakdown[key] = (
-                        report.accelerator_energy_breakdown.get(key, 0.0) + value
-                    )
-        service_s = report.total_time_s
-        self.clock.advance(service_s)
-        if failure is not None:
-            self._fail(request, batch_id, batch_size, report, service_s, failure)
-            return False
-        self._complete(request, batch_id, batch_size, outputs, report, service_s)
-        return True
-
-    def _release_lease_buffers(self) -> None:
-        """Free every device buffer of the lease; the host cost of the
-        releases lands in the ledger's housekeeping bucket (it belongs to
-        the lease, not to any single request)."""
-        overhead = self.system.host_overhead
-        energy0 = overhead.energy_j
-        time0 = overhead.time_s
-        self.system.runtime.free_all()
-        self.ledger.record_housekeeping(overhead.energy_j - energy0)
-        self.clock.advance(overhead.time_s - time0)
-
-    def _fail(
-        self,
-        request: TenantRequest,
-        batch_id: int,
-        batch_size: int,
-        report: ExecutionReport,
-        service_s: float,
-        reason: str,
-    ) -> None:
-        handle = request.handle
-        handle.status = RequestStatus.FAILED
-        handle.reject_reason = reason
-        handle.completed_s = self.clock.now_s
-        handle.batch_id = batch_id
-        handle.batch_size = batch_size
-        handle.report = report
-        self._record_usage(request, batch_id, report, service_s)
-        self.metrics.observe_failure()
-
-    def _complete(
-        self,
-        request: TenantRequest,
-        batch_id: int,
-        batch_size: int,
-        outputs: dict[str, np.ndarray],
-        report: ExecutionReport,
-        service_s: float,
-    ) -> None:
-        handle = request.handle
-        handle.status = RequestStatus.COMPLETED
-        handle.completed_s = self.clock.now_s
-        handle.batch_id = batch_id
-        handle.batch_size = batch_size
-        handle.report = report
-        handle._result = outputs
-        self._record_usage(request, batch_id, report, service_s)
-        self.metrics.observe_completion(
-            request.tenant, handle.latency_s, handle.queueing_delay_s
-        )
-
-    def _record_usage(
-        self,
-        request: TenantRequest,
-        batch_id: int,
-        report: ExecutionReport,
-        service_s: float,
-    ) -> None:
-        handle = request.handle
-        usage = RequestUsage(
-            request_id=request.seq,
-            tenant=request.tenant,
-            batch_id=batch_id,
-            arrival_s=request.arrival_s,
-            completed_s=handle.completed_s,
-            service_s=service_s,
-            latency_s=handle.latency_s,
-            host_energy_j=report.host_estimate.energy_j,
-            offload_energy_j=report.offload_energy_j,
-            accelerator_energy_j=report.accelerator_energy_j,
-            crossbar_cell_writes=report.crossbar_cell_writes,
-            crossbar_write_ops=report.crossbar_write_ops,
-            gemv_count=report.gemv_count,
-            macs=report.accelerator_macs,
-            dma_bytes=report.dma_bytes,
-        )
-        self.ledger.record(usage)
-        self.admission.charge_service(request.tenant, service_s)
+        # One device, no fault hook: the lease executor never returns
+        # faulted requests here (see repro.fleet for the faulted path).
+        self.lease_executor.dispatch(batch, self._batch_counter)

@@ -69,12 +69,32 @@ def _headline_serving(data: dict) -> str:
     )
 
 
+def _headline_fleet(data: dict) -> str:
+    extension = data.get("lifetime_extension_factor")
+    fraction = data.get("storm_throughput_fraction")
+    storm = data.get("failover_study", {}).get("storm", {})
+    parts = []
+    if extension is not None:
+        parts.append(
+            f"wear-aware placement {extension:.0f}x fleet lifetime "
+            f"over round-robin"
+        )
+    if fraction is not None:
+        parts.append(
+            f"{fraction:.2f}x throughput with half the fleet killed "
+            f"({storm.get('completed', '?')}/{data.get('requests', '?')} "
+            f"served, bit-identical)"
+        )
+    return "; ".join(parts) or "no results"
+
+
 #: benchmark-name -> headline extractor; unknown names fall back to keys.
 HEADLINERS = {
     "engine_speed": _headline_engine_speed,
     "multitile_scaling": _headline_multitile,
     "pipeline_ablation": _headline_pipelines,
     "serving_throughput": _headline_serving,
+    "fleet_failover": _headline_fleet,
 }
 
 
