@@ -1,12 +1,42 @@
-"""Legacy setup shim.
+"""Packaging for the TDO-CIM reproduction.
 
-The environment this reproduction targets may lack the ``wheel`` package, in
-which case PEP 517 editable installs fail with ``invalid command
-'bdist_wheel'``.  Keeping a ``setup.py`` allows
-``pip install -e . --no-build-isolation --no-use-pep517`` (and plain
-``pip install -e .`` on modern toolchains) to work either way.
+A plain ``setup.py`` (no pyproject.toml) on purpose: the environment this
+reproduction targets may lack the ``wheel`` package, in which case PEP 517
+editable installs fail with ``invalid command 'bdist_wheel'``.  This form
+works both ways — ``pip install -e .`` on modern toolchains and
+``pip install -e . --no-build-isolation --no-use-pep517`` on minimal ones.
+
+Installing exposes the ``repro`` console script (see ``repro --help``);
+without installing, the same CLI runs as ``PYTHONPATH=src python -m
+repro.cli``, which is how CI invokes it.
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    init = Path(__file__).parent / "src" / "repro" / "__init__.py"
+    match = re.search(r'^__version__ = "([^"]+)"', init.read_text(), re.M)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+setup(
+    name="tdo-cim-repro",
+    version=_version(),
+    description=(
+        "Reproduction of TDO-CIM (DATE 2020): transparent detection and "
+        "offloading of compute-intensive kernels to a compute-in-memory "
+        "accelerator, with an emulated hardware stack, multi-tenant "
+        "serving, a fault-tolerant fleet, and a record/replay trace layer"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=["numpy"],
+    entry_points={"console_scripts": ["repro=repro.cli:main"]},
+)

@@ -32,8 +32,16 @@ from repro.fleet import FaultPlan, FleetConfig, FleetServer
 from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
 from repro.serve import CimServer, ServerConfig, TenantQuota
 from repro.system import CimSystem, SystemConfig
+from repro.trace import (
+    Trace,
+    TraceFormatError,
+    TraceRecorder,
+    TraceReplayer,
+    diff_traces,
+    load_trace,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CompileOptions",
@@ -52,6 +60,12 @@ __all__ = [
     "FleetServer",
     "CimSystem",
     "SystemConfig",
+    "Trace",
+    "TraceFormatError",
+    "TraceRecorder",
+    "TraceReplayer",
+    "diff_traces",
+    "load_trace",
     "ENGINE_MODES",
     "VectorizedEngine",
     "make_engine",

@@ -1,0 +1,280 @@
+"""``repro`` — the one command-line entrypoint of the reproduction.
+
+Subcommands::
+
+    repro run gemm --dataset MEDIUM     # host-vs-CIM evaluation of a kernel
+    repro serve --scenario fleet_faultstorm --record trace.jsonl
+    repro bench serving --smoke         # run a benchmark (was PYTHONPATH=src
+                                        # python benchmarks/bench_...)
+    repro replay trace.jsonl --diff     # re-drive a recorded trace, diff it
+    repro diff a.jsonl b.jsonl          # compare two traces bit-for-bit
+
+Installed as a console script through ``setup.py`` (``pip install -e .``)
+and equally runnable without installation as
+``PYTHONPATH=src python -m repro.cli``, which is how CI invokes it.
+
+Exit codes: 0 on success, 1 on a failed gate (replay/diff mismatch,
+benchmark failure), 2 on bad usage or a malformed trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.trace.replayer import TraceReplayer, diff_traces
+from repro.trace.scenarios import SCENARIOS
+from repro.trace.schema import Trace, TraceFormatError, load_trace
+
+#: Benchmark name -> script under benchmarks/ (the ``repro bench`` registry;
+#: keep in sync with the BENCH_*.json headliners in tools/collect_bench.py).
+BENCHMARKS = {
+    "engine": "bench_engine_speed.py",
+    "multitile": "bench_multitile_scaling.py",
+    "pipelines": "bench_ablation_pipeline.py",
+    "serving": "bench_serving_throughput.py",
+    "fleet": "bench_fleet_failover.py",
+}
+
+
+def repo_root() -> Path:
+    """The checkout root (this file lives at src/repro/cli.py)."""
+    return Path(__file__).resolve().parents[2]
+
+
+# ----------------------------------------------------------------------
+# repro run
+# ----------------------------------------------------------------------
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.eval.experiments import evaluate_kernel
+    from repro.workloads.polybench import kernel_names
+
+    if args.list:
+        for name in kernel_names():
+            print(name)
+        return 0
+    if not args.kernel:
+        print("repro run: a kernel name is required (or --list)", file=sys.stderr)
+        return 2
+    evaluation = evaluate_kernel(
+        args.kernel,
+        dataset=args.dataset,
+        seed=args.seed,
+        verify=args.verify,
+        pipeline=args.pipeline,
+    )
+    print(f"kernel             {evaluation.kernel} ({evaluation.category})")
+    print(f"dataset            {evaluation.dataset}")
+    print(f"host energy        {evaluation.host_energy_j:.6e} J")
+    print(f"host+CIM energy    {evaluation.cim_energy_j:.6e} J")
+    print(f"energy improvement {evaluation.energy_improvement:.3f}x")
+    print(f"runtime improvement {evaluation.runtime_improvement:.3f}x")
+    print(f"EDP improvement    {evaluation.edp_improvement:.3f}x")
+    if args.verify:
+        print("verification       results match the NumPy reference")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro serve
+# ----------------------------------------------------------------------
+def cmd_serve(args: argparse.Namespace) -> int:
+    recorder = SCENARIOS[args.scenario]
+    trace = recorder(seed=args.seed) if args.seed is not None else recorder()
+    _print_trace_summary(trace)
+    if args.record:
+        path = trace.save(args.record)
+        print(f"\nrecorded trace -> {path}")
+    return 0
+
+
+def _print_trace_summary(trace: Trace) -> None:
+    responses = trace.responses()
+    statuses: dict[str, int] = {}
+    for response in responses.values():
+        statuses[response["status"]] = statuses.get(response["status"], 0) + 1
+    print(f"kind               {trace.kind}")
+    print(f"schema version     {trace.schema_version}")
+    print(f"events             {len(trace.events)}")
+    print(f"submissions        {len(trace.submissions())}")
+    print(
+        "responses          "
+        + ", ".join(f"{count} {status}" for status, count in sorted(statuses.items()))
+    )
+    faults = trace.of_kind("fault")
+    if faults:
+        print(f"faults             {len(faults)}")
+    print("\ntenant bills:")
+    for tenant, bill in sorted(trace.tenant_bills().items()):
+        print(
+            f"  {tenant:<12} completed={bill['completed']:<3} "
+            f"rejected={bill['rejected']:<3} wear={bill['wear_bytes']} B "
+            f"energy={bill['energy_j']:.6e} J"
+        )
+    print("\ndevice bills:")
+    for device_id, bill in sorted(trace.device_bills().items()):
+        print(
+            f"  device {device_id} [{bill['state']:<11}] "
+            f"writes={bill['physical_cell_writes']} "
+            f"energy={bill['physical_energy_j']:.6e} J "
+            f"compensations={bill['compensations']} "
+            f"partition={'ok' if bill['partition_ok'] else 'BROKEN'}"
+        )
+
+
+# ----------------------------------------------------------------------
+# repro bench
+# ----------------------------------------------------------------------
+def cmd_bench(args: argparse.Namespace) -> int:
+    if args.list:
+        for name, script in BENCHMARKS.items():
+            print(f"{name:<10} benchmarks/{script}")
+        return 0
+    if not args.name:
+        print("repro bench: a benchmark name is required (or --list)", file=sys.stderr)
+        return 2
+    if args.name != "all" and args.name not in BENCHMARKS:
+        print(
+            f"repro bench: unknown benchmark {args.name!r} "
+            f"(choose from {', '.join(BENCHMARKS)}, or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+    names = list(BENCHMARKS) if args.name == "all" else [args.name]
+    root = repo_root()
+    for name in names:
+        command = [sys.executable, str(root / "benchmarks" / BENCHMARKS[name])]
+        if args.smoke:
+            command.append("--smoke")
+        if args.output:
+            command += ["--output", args.output]
+        command += args.extra
+        env = dict(os.environ)
+        src = str(root / "src")
+        env["PYTHONPATH"] = (
+            src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+        )
+        print(f"[repro bench] {name}: {' '.join(command[1:])}", flush=True)
+        result = subprocess.run(command, env=env, cwd=root)
+        if result.returncode != 0:
+            print(f"repro bench: {name} failed ({result.returncode})", file=sys.stderr)
+            return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# repro replay / repro diff
+# ----------------------------------------------------------------------
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = load_trace(args.trace)
+    result = TraceReplayer(trace).replay()
+    if args.save:
+        result.replayed.save(args.save)
+        print(f"replayed trace -> {args.save}")
+    if args.diff or not result.identical:
+        print(result.diff.summary())
+    else:
+        print("replay matches the recording (bit-for-bit)")
+    return 0 if result.identical else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    left = load_trace(args.left)
+    right = load_trace(args.right)
+    diff = diff_traces(left, right)
+    print(diff.summary())
+    return 0 if diff.identical else 1
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TDO-CIM reproduction: evaluate kernels, serve traffic, "
+        "run benchmarks, and record/replay/diff serving traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="host-vs-CIM evaluation of one kernel")
+    run.add_argument("kernel", nargs="?", help="PolyBench kernel name")
+    run.add_argument("--dataset", default="MEDIUM", help="dataset preset")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--pipeline", default=None, help="named pass pipeline")
+    run.add_argument(
+        "--verify", action="store_true", help="check results against NumPy"
+    )
+    run.add_argument("--list", action="store_true", help="list kernels and exit")
+    run.set_defaults(func=cmd_run)
+
+    serve = sub.add_parser(
+        "serve", help="run a canonical serving scenario (optionally record it)"
+    )
+    serve.add_argument(
+        "--scenario",
+        choices=sorted(SCENARIOS),
+        default="serve_multitenant",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=None, help="override the pinned seed"
+    )
+    serve.add_argument(
+        "--record", metavar="PATH", help="save the recorded trace as JSONL"
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    bench = sub.add_parser("bench", help="run a benchmark from benchmarks/")
+    bench.add_argument(
+        "name", nargs="?", help=f"one of {', '.join(BENCHMARKS)}, or 'all'"
+    )
+    bench.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    bench.add_argument("--output", metavar="PATH", help="write results JSON here")
+    bench.add_argument(
+        "--list", action="store_true", help="list benchmarks and exit"
+    )
+    bench.add_argument(
+        "extra", nargs="*", default=[], help="extra args passed to the script"
+    )
+    bench.set_defaults(func=cmd_bench)
+
+    replay = sub.add_parser(
+        "replay", help="re-drive a recorded trace through a fresh server"
+    )
+    replay.add_argument("trace", help="path to a .jsonl trace")
+    replay.add_argument(
+        "--diff",
+        action="store_true",
+        help="print the full section-by-section diff report",
+    )
+    replay.add_argument(
+        "--save", metavar="PATH", help="save the replayed trace as JSONL"
+    )
+    replay.set_defaults(func=cmd_replay)
+
+    diff = sub.add_parser("diff", help="compare two traces bit-for-bit")
+    diff.add_argument("left")
+    diff.add_argument("right")
+    diff.set_defaults(func=cmd_diff)
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except TraceFormatError as exc:
+        print(f"repro: bad trace: {exc}", file=sys.stderr)
+        return 2
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

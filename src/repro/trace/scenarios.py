@@ -1,0 +1,158 @@
+"""Canonical workloads behind the golden trace fixtures.
+
+The committed fixtures under ``tests/traces/`` are recordings of these
+two scenarios at their pinned seeds.  Keeping the generators in the
+package (rather than inside the test files) gives re-recording a single
+documented entrypoint when an *intentional* behavior change lands::
+
+    PYTHONPATH=src python -m repro.cli serve --scenario serve_multitenant \
+        --record tests/traces/serve_multitenant.jsonl
+    PYTHONPATH=src python -m repro.cli serve --scenario fleet_faultstorm \
+        --record tests/traces/fleet_faultstorm.jsonl
+
+Golden traces replay on whatever CI machine picks the job, so the array
+payloads use small *integer-valued* float32 data (values 0–7): every
+product and partial sum is exactly representable, making the GEMV
+results independent of the BLAS kernel, FMA contraction and summation
+association of the host — bit-identical everywhere, not just on the
+machine that recorded them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.faults import DeviceKill, FaultPlan, OpFaultRule
+from repro.fleet.server import FleetConfig, FleetServer
+from repro.serve.admission import TenantQuota
+from repro.serve.server import CimServer, ServerConfig
+from repro.trace.recorder import TraceRecorder
+from repro.trace.schema import Trace
+
+GEMV_SOURCE = """
+void gemv(int M, int N, float A[M][N], float x[N], float y[M]) {
+  for (int i = 0; i < M; i++) {
+    y[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      y[i] += A[i][j] * x[j];
+  }
+}
+"""
+
+PARAMS = {"M": 16, "N": 16}
+
+
+def _exact_array(rng: np.random.Generator, shape) -> np.ndarray:
+    """float32 data whose GEMV arithmetic is exact on any host BLAS."""
+    return rng.integers(0, 8, size=shape).astype(np.float32)
+
+
+def _payload(rng: np.random.Generator, matrix: np.ndarray) -> dict:
+    return {
+        "A": matrix,
+        "x": _exact_array(rng, 16),
+        "y": np.zeros(16, dtype=np.float32),
+    }
+
+
+# ----------------------------------------------------------------------
+def record_serve_multitenant(seed: int = 2024) -> Trace:
+    """Multi-tenant single-device scenario: three tenants, a tight-quota
+    tenant driven into admission rejections, and one bad-payload request
+    that resolves FAILED — every terminal path of the serve tier appears
+    in the trace."""
+    recorder = TraceRecorder()
+    server = recorder.attach(
+        CimServer(
+            ServerConfig(num_tiles=2, batch_window_s=1e-4, max_batch_size=4)
+        )
+    )
+    server.set_quota("free-tier", TenantQuota(max_queue_depth=2, weight=0.5))
+    server.set_quota("acme", TenantQuota(max_queue_depth=8, weight=2.0))
+    rng = np.random.default_rng(seed)
+    matrix = _exact_array(rng, (16, 16))
+    for index in range(6):
+        server.submit(
+            "acme" if index % 2 == 0 else "globex",
+            GEMV_SOURCE,
+            PARAMS,
+            _payload(rng, matrix),
+            arrival_s=index * 2e-5,
+        )
+    # Burst past free-tier's depth-2 queue inside one batching window so
+    # admission backpressure rejects the tail.
+    for index in range(5):
+        server.submit(
+            "free-tier",
+            GEMV_SOURCE,
+            PARAMS,
+            _payload(rng, matrix),
+            arrival_s=1.5e-4 + index * 1e-6,
+        )
+    # A payload that cannot satisfy the kernel's declared extents: the
+    # runtime rejects the undersized buffer mid-dispatch, the handle
+    # resolves FAILED, and the tenant is billed for measured work.
+    server.submit(
+        "globex",
+        GEMV_SOURCE,
+        PARAMS,
+        {
+            "A": _exact_array(rng, (4, 4)),  # M=N=16 requires 16x16
+            "x": _exact_array(rng, 16),
+            "y": np.zeros(16, dtype=np.float32),
+        },
+        arrival_s=4e-4,
+    )
+    server.drain()
+    return recorder.finalize()
+
+
+# ----------------------------------------------------------------------
+def record_fleet_faultstorm(seed: int = 31) -> Trace:
+    """Fleet fault-storm scenario: three devices with heterogeneous
+    pre-fleet wear, the least-worn device killed mid-lease (in-flight
+    work compensated, stranded requests migrated, device quarantined and
+    drained), and bounded transient dma/compile faults (retries with
+    backoff) — the acceptance-gate trace for ``repro replay --diff``."""
+    plan = FaultPlan(
+        kills=[DeviceKill(device_id=0, at_s=1.1e-4)],
+        op_rules=[
+            OpFaultRule("dma", probability=0.3, max_faults=3),
+            OpFaultRule("compile", probability=0.2, device_id=0, max_faults=2),
+        ],
+        seed=seed,
+    )
+    recorder = TraceRecorder()
+    fleet = recorder.attach(
+        FleetServer(
+            FleetConfig(
+                num_devices=3,
+                batch_window_s=1e-4,
+                max_batch_size=4,
+                placement="wear-aware",
+                initial_wear_bytes=(0, 6_000_000, 2_000_000),
+                fault_plan=plan,
+                max_attempts=4,
+            )
+        )
+    )
+    rng = np.random.default_rng(seed)
+    matrix = _exact_array(rng, (16, 16))
+    for index in range(12):
+        fleet.submit(
+            f"tenant{index % 3}",
+            GEMV_SOURCE,
+            PARAMS,
+            _payload(rng, matrix),
+            arrival_s=index * 3e-5,
+        )
+    fleet.drain()
+    return recorder.finalize()
+
+
+#: Scenario name -> recorder, the registry behind ``repro record`` and
+#: the golden-fixture re-record workflow documented in docs/trace.md.
+SCENARIOS = {
+    "serve_multitenant": record_serve_multitenant,
+    "fleet_faultstorm": record_fleet_faultstorm,
+}

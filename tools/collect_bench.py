@@ -7,6 +7,14 @@ benchmark file, with its headline numbers) so the performance history of
 the project can be read in one place.  Output goes to stdout and —
 unless ``--no-write`` — to ``benchmarks/results/trajectory.md``.
 
+The trajectory is also a regression gate: ``--check`` compares each
+file's scale-free gate metrics (speedup factors, throughput fractions —
+never wall-clock seconds, which vary by machine) against the recorded
+``benchmarks/results/baselines.json`` and fails if any metric regressed
+by more than ``--tolerance`` (default 10%).  When an *intentional*
+change moves a number, regenerate the benchmark and re-record with
+``--update-baselines``.
+
 Standard library only, so the CI docs/tooling jobs can run it without
 installing anything.
 """
@@ -98,6 +106,105 @@ HEADLINERS = {
 }
 
 
+# ----------------------------------------------------------------------
+# Gate metrics (the --check regression gate)
+# ----------------------------------------------------------------------
+def _gate_engine_speed(data: dict) -> dict:
+    speedups = [row["speedup"] for row in data.get("results", []) if row.get("speedup")]
+    return {"max_speedup": max(speedups)} if speedups else {}
+
+
+def _gate_multitile(data: dict) -> dict:
+    metrics = {}
+    scaling = [row["speedup_at_4_tiles"] for row in data.get("tile_scaling", [])]
+    if scaling:
+        metrics["min_speedup_at_4_tiles"] = min(scaling)
+    cache = [row["speedup"] for row in data.get("compile_cache", [])]
+    if cache:
+        metrics["min_warm_compile_speedup"] = min(cache)
+    return metrics
+
+
+def _gate_serving(data: dict) -> dict:
+    value = data.get("speedup_at_4_tiles")
+    return {"speedup_at_4_tiles": value} if value is not None else {}
+
+
+def _gate_fleet(data: dict) -> dict:
+    metrics = {}
+    if data.get("lifetime_extension_factor") is not None:
+        metrics["lifetime_extension_factor"] = data["lifetime_extension_factor"]
+    if data.get("storm_throughput_fraction") is not None:
+        metrics["storm_throughput_fraction"] = data["storm_throughput_fraction"]
+    return metrics
+
+
+#: benchmark-name -> scale-free gate metrics (higher is better for all).
+#: pipeline_ablation is deliberately absent: its only numbers are
+#: machine-dependent pass wall-times, which would make the gate flaky.
+GATE_METRICS = {
+    "engine_speed": _gate_engine_speed,
+    "multitile_scaling": _gate_multitile,
+    "serving_throughput": _gate_serving,
+    "fleet_failover": _gate_fleet,
+}
+
+BASELINES_PATH = Path("benchmarks") / "results" / "baselines.json"
+
+
+def gate_metrics(root: Path) -> dict[str, dict[str, float]]:
+    """Current gate metrics per BENCH_*.json file name."""
+    metrics: dict[str, dict[str, float]] = {}
+    for path in sorted(root.glob("BENCH_*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        extractor = GATE_METRICS.get(data.get("benchmark"))
+        if extractor is None:
+            continue
+        extracted = extractor(data)
+        if extracted:
+            metrics[path.name] = extracted
+    return metrics
+
+
+def check_baselines(root: Path, tolerance: float) -> list[str]:
+    """Regressions beyond *tolerance*, as human-readable failure lines."""
+    baselines_file = root / BASELINES_PATH
+    if not baselines_file.exists():
+        return [
+            f"no recorded baselines at {BASELINES_PATH}; run "
+            "`python tools/collect_bench.py --update-baselines` and commit it"
+        ]
+    try:
+        baselines = json.loads(baselines_file.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"{BASELINES_PATH} is corrupt: {exc}"]
+    current = gate_metrics(root)
+    failures = []
+    for file_name, recorded in sorted(baselines.items()):
+        measured = current.get(file_name)
+        if measured is None:
+            failures.append(
+                f"{file_name}: baseline recorded but the file is missing "
+                "or carries no gate metrics"
+            )
+            continue
+        for metric, recorded_value in sorted(recorded.items()):
+            if metric not in measured:
+                failures.append(f"{file_name}: metric {metric!r} disappeared")
+                continue
+            floor = recorded_value * (1.0 - tolerance)
+            if measured[metric] < floor:
+                failures.append(
+                    f"{file_name}: {metric} regressed to "
+                    f"{measured[metric]:.4g} (baseline {recorded_value:.4g}, "
+                    f"tolerance {tolerance:.0%} -> floor {floor:.4g})"
+                )
+    return failures
+
+
 def collect(root: Path) -> list[dict]:
     rows = []
     for path in sorted(root.glob("BENCH_*.json")):
@@ -159,6 +266,24 @@ def main() -> int:
         action="store_true",
         help="print only; do not update benchmarks/results/trajectory.md",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if any gate metric regressed beyond --tolerance "
+        "vs benchmarks/results/baselines.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional regression per gate metric (default 0.10)",
+    )
+    parser.add_argument(
+        "--update-baselines",
+        action="store_true",
+        help="re-record benchmarks/results/baselines.json from the current "
+        "BENCH_*.json files (commit the result)",
+    )
     args = parser.parse_args()
     root = Path(args.root)
     rows = collect(root)
@@ -172,6 +297,25 @@ def main() -> int:
         out.parent.mkdir(parents=True, exist_ok=True)
         out.write_text(table)
         print(f"wrote {out.relative_to(root)}", file=sys.stderr)
+    if args.update_baselines:
+        baselines_file = root / BASELINES_PATH
+        baselines_file.parent.mkdir(parents=True, exist_ok=True)
+        baselines_file.write_text(
+            json.dumps(gate_metrics(root), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {BASELINES_PATH}", file=sys.stderr)
+    if args.check:
+        failures = check_baselines(root, args.tolerance)
+        if failures:
+            print("\nbenchmark regression gate FAILED:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"\nbenchmark regression gate passed "
+            f"(tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
     return 0
 
 
