@@ -1,9 +1,16 @@
-"""Engine speed benchmark: interpreter vs. vectorized execution.
+"""Engine speed benchmark: interpreter vs. the engine lowering tiers.
 
 Times the reference tree-walking interpreter against the compiled
-vectorized engine (and its einsum "fast" mode) on host-executed PolyBench
-kernels, and writes ``BENCH_PR1.json`` with per-kernel wall times and
-speedups — the first point of the performance trajectory.
+engines — generic vectorized (gather), the exact slice-folding ``fast``
+default, the optional ``native`` C backend, and the legacy einsum
+``vectorized-fast`` mode — on host-executed PolyBench kernels.  Writes
+two result files:
+
+* ``BENCH_PR1.json`` — per-kernel wall times and speedups (the first
+  point of the performance trajectory, extended with the new tiers);
+* ``BENCH_PR8.json`` — the lowering coverage histogram: which tier every
+  PolyBench loop nest lands on, and the fraction past the generic
+  vectorized tier (the PR 8 gate: >= 90% must slice-fold or better).
 
 Usage::
 
@@ -12,7 +19,9 @@ Usage::
 
 The full run times the interpreter once per kernel (it is the slow thing
 being measured — a 256x256x256 GEMM takes on the order of a minute) and the
-vectorized engines over several repetitions.
+compiled engines over several repetitions.  ``--require-native`` exits
+with code 3 ("skipped") when the optional C toolchain is unavailable, so
+``repro bench`` reports a visible skip instead of a failure.
 """
 
 from __future__ import annotations
@@ -20,11 +29,14 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import sys
 import time
 from pathlib import Path
 
 from repro.frontend import parse_program
 from repro.ir import make_engine
+from repro.ir.engine import native_available
+from repro.ir.engine.lowering import program_lowering_report, tier_histogram
 from repro.ir.normalize import normalize_reductions
 from repro.workloads.polybench import KERNELS
 
@@ -55,13 +67,20 @@ def _time_engine(program, engine_name, params, arrays, repeats=1) -> float:
 
 def run_benchmark(smoke: bool = False) -> dict:
     cases = SMOKE_CASES if smoke else FULL_CASES
+    with_native = native_available()
     results = []
     for name, params, size in cases:
         kernel = KERNELS[name]
         program = normalize_reductions(parse_program(kernel.source))
         arrays = kernel.init_arrays(params, 0)
         vec_s = _time_engine(program, "vectorized", params, arrays, repeats=3)
-        fast_s = _time_engine(program, "vectorized-fast", params, arrays, repeats=3)
+        fold_s = _time_engine(program, "fast", params, arrays, repeats=3)
+        einsum_s = _time_engine(program, "vectorized-fast", params, arrays, repeats=3)
+        native_s = (
+            _time_engine(program, "native", params, arrays, repeats=3)
+            if with_native
+            else None
+        )
         interp_s = _time_engine(program, "interpreter", params, arrays, repeats=1)
         speedup = interp_s / vec_s if vec_s > 0 else float("inf")
         results.append(
@@ -72,14 +91,23 @@ def run_benchmark(smoke: bool = False) -> dict:
                 "params": params,
                 "interpreter_s": round(interp_s, 6),
                 "vectorized_s": round(vec_s, 6),
-                "vectorized_fast_s": round(fast_s, 6),
+                "fast_s": round(fold_s, 6),
+                "native_s": round(native_s, 6) if native_s is not None else None,
+                "vectorized_fast_s": round(einsum_s, 6),
                 "speedup": round(speedup, 2),
-                "speedup_fast": round(interp_s / fast_s, 2) if fast_s > 0 else None,
+                "speedup_fold": round(interp_s / fold_s, 2) if fold_s > 0 else None,
+                "speedup_native": (
+                    round(interp_s / native_s, 2)
+                    if native_s
+                    else None
+                ),
+                "speedup_fast": round(interp_s / einsum_s, 2) if einsum_s > 0 else None,
             }
         )
+        native_txt = f"native={native_s:8.4f}s  " if native_s is not None else ""
         print(
             f"{name:8s} size={size:4d}  interp={interp_s:9.4f}s  "
-            f"vectorized={vec_s:8.4f}s  fast={fast_s:8.4f}s  "
+            f"vectorized={vec_s:8.4f}s  fold={fold_s:8.4f}s  {native_txt}"
             f"speedup={speedup:9.1f}x"
         )
     return {
@@ -87,7 +115,66 @@ def run_benchmark(smoke: bool = False) -> dict:
         "mode": "smoke" if smoke else "full",
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "native_available": with_native,
         "results": results,
+    }
+
+
+def run_coverage(smoke: bool = False) -> dict:
+    """Lowering-tier coverage across every PolyBench kernel.
+
+    Tiers are a static property of each nest (independent of problem
+    size), so smoke and full runs report identical coverage numbers —
+    only the timing file differs between modes.
+    """
+    kernels = {}
+    totals = {"interpreter": 0, "vectorized": 0, "fold": 0, "native": 0}
+    native_totals = dict(totals)
+    for name in sorted(KERNELS):
+        program = normalize_reductions(parse_program(KERNELS[name].source))
+        report = program_lowering_report(program, native=False)
+        hist = tier_histogram(report)
+        native_hist = tier_histogram(program_lowering_report(program, native=True))
+        kernels[name] = {
+            "nests": [
+                {"nest": nest.nest, "tier": nest.tier, "reason": nest.reason}
+                for nest in report
+            ],
+            "histogram": hist,
+            "histogram_native": native_hist,
+        }
+        for tier, count in hist.items():
+            totals[tier] += count
+        for tier, count in native_hist.items():
+            native_totals[tier] += count
+    nest_count = sum(totals.values())
+    fast_nests = totals["fold"] + totals["native"]
+    coverage = {
+        "nest_count": nest_count,
+        "histogram": totals,
+        "histogram_native": native_totals,
+        # The PR 8 gate: fraction of nests past the generic vectorized
+        # tier with the default engine (no C toolchain required).
+        "fold_or_better_fraction": (
+            round(fast_nests / nest_count, 4) if nest_count else 0.0
+        ),
+        "native_eligible_fraction": (
+            round(native_totals["native"] / nest_count, 4) if nest_count else 0.0
+        ),
+    }
+    print(
+        f"lowering coverage: {nest_count} nests, "
+        f"{coverage['fold_or_better_fraction']:.0%} at fold tier or better, "
+        f"{coverage['native_eligible_fraction']:.0%} native-eligible"
+    )
+    return {
+        "benchmark": "engine_lowering",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "native_toolchain_present": native_available(),
+        "coverage": coverage,
+        "kernels": kernels,
     }
 
 
@@ -99,12 +186,37 @@ def main() -> None:
     parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_PR1.json"),
-        help="where to write the JSON results",
+        help="where to write the timing JSON results",
+    )
+    parser.add_argument(
+        "--coverage-output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR8.json"),
+        help="where to write the lowering-coverage JSON results",
+    )
+    parser.add_argument(
+        "--require-native",
+        action="store_true",
+        help="exit 3 (skipped) when the optional native C toolchain is absent",
     )
     args = parser.parse_args()
+    if args.require_native and not native_available():
+        print(
+            "bench_engine_speed: SKIPPED — the optional native backend "
+            "needs cffi plus a C compiler on PATH (set REPRO_NATIVE=1 and "
+            "install a toolchain to enable it)"
+        )
+        sys.exit(3)
     payload = run_benchmark(smoke=args.smoke)
     Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+    coverage = run_coverage(smoke=args.smoke)
+    Path(args.coverage_output).write_text(json.dumps(coverage, indent=2) + "\n")
+    print(f"wrote {args.coverage_output}")
+    fraction = coverage["coverage"]["fold_or_better_fraction"]
+    assert fraction >= 0.9, (
+        f"lowering coverage regressed: only {fraction:.0%} of PolyBench "
+        "nests are past the generic vectorized tier (gate: >= 90%)"
+    )
     if not args.smoke:
         gemm_points = [
             r

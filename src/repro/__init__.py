@@ -41,7 +41,7 @@ from repro.trace import (
     load_trace,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CompileOptions",

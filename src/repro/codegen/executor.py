@@ -35,7 +35,7 @@ from repro.codegen.runtime_calls import (
     MallocCallArgs,
 )
 from repro.host.cost_model import HostCostModel, HostExecutionEstimate
-from repro.ir.engine import make_engine, validate_engine
+from repro.ir.engine import DEFAULT_ENGINE, make_engine, validate_engine
 from repro.ir.expr import Expr
 from repro.ir.interp import Interpreter, evaluate_expr
 from repro.ir.program import Program
@@ -103,16 +103,19 @@ class OffloadExecutor:
     """Runs IR programs against the emulated host + CIM system.
 
     ``engine`` selects the execution engine for the host-side IR (see
-    :data:`repro.ir.engine.ENGINE_MODES`): the compiled ``"vectorized"``
-    engine (default, bit-identical to the interpreter), the reference
-    ``"interpreter"``, or ``"vectorized-fast"`` (einsum lowering, results
-    only approximately equal).  All engines produce identical execution
-    traces, so the cost-model numbers do not depend on this choice.
+    :data:`repro.ir.engine.ENGINE_MODES`): the slice-folding ``"fast"``
+    engine (default, bit-identical to the interpreter), ``"native"``
+    (adds the optional C backend), ``"vectorized"`` (gather lowering),
+    the reference ``"interpreter"``, or ``"vectorized-fast"`` (einsum
+    lowering, results only approximately equal).  All engines produce
+    identical execution traces, so the cost-model numbers do not depend
+    on this choice.
 
     Engine precedence, most specific wins: the ``engine`` argument of
     :meth:`run`, then an ``engine`` given to this constructor, then the
     :class:`~repro.compiler.options.CompileOptions` of a
-    ``CompilationResult`` passed to :meth:`run`, then ``"vectorized"``.
+    ``CompilationResult`` passed to :meth:`run`, then
+    :data:`~repro.ir.engine.DEFAULT_ENGINE`.
 
     ``num_tiles`` is a convenience for multi-tile offload: without an
     explicit ``system`` it builds a
@@ -182,7 +185,7 @@ class OffloadExecutor:
         # Validate before touching any executor/system state, so a typo'd
         # engine name does not wipe the previous run's statistics.
         self.last_engine_used = validate_engine(
-            engine or self.engine or options_engine or "vectorized"
+            engine or self.engine or options_engine or DEFAULT_ENGINE
         )
 
         if reset_stats:

@@ -23,10 +23,17 @@ import os
 import pickle
 import tempfile
 import threading
+import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import fields
 from pathlib import Path
 from typing import Mapping, Optional, Union
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
 
 #: CompileOptions fields that steer caching itself, not the compiled output.
 _CACHE_CONTROL_FIELDS = frozenset({"enable_compile_cache", "compile_cache_dir"})
@@ -63,6 +70,47 @@ def compile_fingerprint(
     return hashlib.sha256(payload).hexdigest()
 
 
+@contextmanager
+def _flock(lock_path: Path, timeout_s: float):
+    """Advisory cross-process lock around the cache directory.
+
+    Yields ``True`` while the lock is held, ``False`` when it could not
+    be acquired within *timeout_s* (or the platform has no ``fcntl``) —
+    callers then degrade gracefully (a load becomes a miss, a store is
+    skipped) instead of blocking a compile behind a stuck process.
+    """
+    if fcntl is None:
+        # No advisory locking available; the atomic temp-file + rename
+        # protocol still keeps individual entries consistent.
+        yield True
+        return
+    try:
+        handle = open(lock_path, "a+b")
+    except OSError:
+        yield False
+        return
+    held = False
+    deadline = time.monotonic() + timeout_s
+    try:
+        while True:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                held = True
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    break
+                time.sleep(0.01)
+        yield held
+    finally:
+        if held:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+        handle.close()
+
+
 class KernelCompileCache:
     """LRU cache of compilation results, keyed by content fingerprint.
 
@@ -85,19 +133,42 @@ class KernelCompileCache:
     temp-file + rename protocol of :meth:`_disk_store` instead.  Entries
     are content-addressed, so two threads racing to ``put`` the same key
     store equivalent results and either may win.
+
+    Across *processes*, disk reads and writes additionally take an
+    advisory ``flock`` on ``<disk_dir>/.lock`` (POSIX only; a no-op
+    elsewhere) so a store and the quarantine rename of a concurrent
+    corrupt-entry read never interleave.  The lock is acquired with a
+    bounded retry loop — if it cannot be taken within
+    ``lock_timeout_s`` (a crashed or wedged holder), the operation
+    degrades to a cache miss / skipped store, counted in
+    :attr:`lock_timeouts`, and compilation proceeds uncached rather than
+    blocking.
     """
 
-    def __init__(self, capacity: int = 128, disk_dir: Optional[Union[str, Path]] = None):
+    def __init__(
+        self,
+        capacity: int = 128,
+        disk_dir: Optional[Union[str, Path]] = None,
+        lock_timeout_s: float = 2.0,
+    ):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
+        if lock_timeout_s < 0:
+            raise ValueError(
+                f"lock_timeout_s must be >= 0, got {lock_timeout_s}"
+            )
         self.capacity = capacity
         self.disk_dir = Path(disk_dir) if disk_dir is not None else None
+        self.lock_timeout_s = lock_timeout_s
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         #: Corrupt/truncated disk entries found (and quarantined) so far.
         self.disk_corruptions = 0
+        #: Disk operations skipped because the cross-process lock could
+        #: not be acquired within ``lock_timeout_s``.
+        self.lock_timeouts = 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -156,6 +227,10 @@ class KernelCompileCache:
             return None
         return self.disk_dir / f"{key}.pkl"
 
+    def _note_lock_timeout(self) -> None:
+        with self._lock:
+            self.lock_timeouts += 1
+
     def _disk_store(self, key: str, result) -> None:
         path = self._disk_path(key)
         if path is None:
@@ -163,14 +238,18 @@ class KernelCompileCache:
         tmp_name = None
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            # A unique temp file per writer: concurrent processes storing
-            # the same key must each install a complete pickle atomically,
-            # never interleave into one shared temp file.
-            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp_name, path)
-            tmp_name = None
+            with _flock(path.parent / ".lock", self.lock_timeout_s) as held:
+                if not held:
+                    self._note_lock_timeout()
+                    return
+                # A unique temp file per writer: concurrent processes
+                # storing the same key must each install a complete pickle
+                # atomically, never interleave into one shared temp file.
+                fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp_name, path)
+                tmp_name = None
         except Exception:
             # Persistence is best-effort: an unpicklable result or an
             # unwritable directory must not fail the compile.
@@ -185,19 +264,23 @@ class KernelCompileCache:
         path = self._disk_path(key)
         if path is None or not path.exists():
             return None
-        try:
-            with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except FileNotFoundError:
-            return None  # raced with another process; plain miss
-        except Exception:
-            # Corrupt or truncated entry (torn write by a crashed process,
-            # disk rot, an incompatible pickle).  Quarantine it so the
-            # poison is never re-read on every future miss of this key —
-            # the entry degrades to one miss and the slot becomes
-            # storable again.
-            self._quarantine_corrupt(path)
-            return None
+        with _flock(path.parent / ".lock", self.lock_timeout_s) as held:
+            if not held:
+                self._note_lock_timeout()
+                return None  # degrade to a miss, never block a compile
+            try:
+                with open(path, "rb") as handle:
+                    return pickle.load(handle)
+            except FileNotFoundError:
+                return None  # raced with another process; plain miss
+            except Exception:
+                # Corrupt or truncated entry (torn write by a crashed
+                # process, disk rot, an incompatible pickle).  Quarantine
+                # it so the poison is never re-read on every future miss
+                # of this key — the entry degrades to one miss and the
+                # slot becomes storable again.
+                self._quarantine_corrupt(path)
+                return None
 
     def _quarantine_corrupt(self, path: Path) -> None:
         with self._lock:

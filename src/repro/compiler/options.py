@@ -49,14 +49,17 @@ class CompileOptions:
     #: in-memory only).  Entries are content-addressed pickles, so they are
     #: never stale and can be shared across processes.
     compile_cache_dir: str | None = None
-    #: Execution engine for the host-side IR: ``"vectorized"`` (compiled
-    #: NumPy kernels, bit-identical to the interpreter), ``"interpreter"``
-    #: (the reference tree-walker), or ``"vectorized-fast"`` (einsum
-    #: contraction lowering, reassociates floating-point sums).  Honoured
+    #: Execution engine for the host-side IR: ``"fast"`` (slice-folded
+    #: NumPy kernels, bit-identical to the interpreter), ``"native"``
+    #: (additionally compiles eligible nests to C via cffi, falling back
+    #: to ``"fast"`` when no toolchain is present), ``"vectorized"``
+    #: (broadcast-gather lowering), ``"interpreter"`` (the reference
+    #: tree-walker), or ``"vectorized-fast"`` (einsum contraction
+    #: lowering, reassociates floating-point sums).  Honoured
     #: automatically when the :class:`CompilationResult` is passed to
     #: :meth:`OffloadExecutor.run`; it does not change the generated code
     #: or any cost-model report.
-    engine: str = "vectorized"
+    engine: str = "fast"
     #: Pass pipeline to run: a named pipeline (``"default"``, ``"no-fusion"``,
     #: ``"detect-only"``) or an explicit sequence of pass names (see
     #: :data:`repro.compiler.passes.PASS_REGISTRY`).  Part of the compile-cache

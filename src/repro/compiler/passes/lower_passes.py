@@ -33,3 +33,32 @@ class LowerPass(Pass):
         ctx.program = reassemble_program(
             ctx.program, replacements, add_init_call=ctx.anything_offloaded
         )
+
+
+class EngineLowerPass(Pass):
+    """Classify every loop nest of the compiled program onto its engine tier.
+
+    Runs the engine's lowering analysis (see
+    :mod:`repro.ir.engine.lowering`) over the lowered program and attaches
+    the per-nest report to ``CompilationReport.nest_lowerings`` — which
+    tier (interpreter / vectorized / fold / native) each nest executes on
+    and, for the slow tiers, the reason.  Pure analysis: the program is
+    not modified, nothing is compiled or executed.  The native C lowering
+    is attempted exactly when the selected engine is ``"native"``; code
+    generation is pure, so the report is deterministic and safe to share
+    through the on-disk compile cache even across machines without a C
+    toolchain (the engine re-checks availability at run time).
+    """
+
+    name = "engine-lower"
+    requires = ("lowered-program",)
+    provides = ("engine-lowering",)
+
+    def run(self, ctx: CompilationContext) -> None:
+        from repro.ir.engine.lowering import program_lowering_report
+
+        if ctx.program is None:
+            return
+        ctx.report.nest_lowerings = program_lowering_report(
+            ctx.program, native=ctx.options.engine == "native"
+        )

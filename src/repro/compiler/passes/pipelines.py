@@ -19,7 +19,7 @@ from repro.compiler.passes.frontend_passes import (
     NormalizeReductionsPass,
     ParsePass,
 )
-from repro.compiler.passes.lower_passes import LowerPass
+from repro.compiler.passes.lower_passes import EngineLowerPass, LowerPass
 from repro.compiler.passes.manager import PassManager
 from repro.compiler.passes.policy import OffloadPolicy
 from repro.compiler.passes.transform_passes import (
@@ -46,6 +46,7 @@ PASS_REGISTRY: dict[str, type[Pass]] = {
         TilingPass,
         DeviceMapPass,
         LowerPass,
+        EngineLowerPass,
     )
 }
 
@@ -61,10 +62,25 @@ _FRONT_HALF = (
 NAMED_PIPELINES: dict[str, tuple[str, ...]] = {
     # The paper's Figure 4 flow.
     "default": _FRONT_HALF
-    + ("select-offload", "isolate", "fusion", "tiling", "device-map", "lower"),
+    + (
+        "select-offload",
+        "isolate",
+        "fusion",
+        "tiling",
+        "device-map",
+        "lower",
+        "engine-lower",
+    ),
     # Ablation: everything except the endurance-oriented kernel fusion.
     "no-fusion": _FRONT_HALF
-    + ("select-offload", "isolate", "tiling", "device-map", "lower"),
+    + (
+        "select-offload",
+        "isolate",
+        "tiling",
+        "device-map",
+        "lower",
+        "engine-lower",
+    ),
     # Analysis only: detect SCoPs and match kernels, transform nothing —
     # the compiled program is the (normalised) input program.
     "detect-only": _FRONT_HALF,

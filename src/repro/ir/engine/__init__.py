@@ -8,14 +8,29 @@ floating-point reassociation on the default path) and the
 polyhedral trip counts, so the host cost model reports the exact same
 instruction/energy/time numbers.
 
-Three engine modes are available (see :func:`make_engine`):
+Five engine modes are available (see :func:`make_engine`):
 
 * ``"interpreter"`` — the reference tree-walking interpreter.
-* ``"vectorized"`` — compiled NumPy execution, bit-identical to the
-  interpreter (default).
-* ``"vectorized-fast"`` — additionally lowers recognized full reduction
-  nests (GEMM/GEMV-class contractions) to ``np.einsum``; this reassociates
-  floating-point sums, so results are only approximately equal.
+* ``"vectorized"`` — compiled NumPy execution through broadcast index-grid
+  gathers; bit-identical to the interpreter.
+* ``"fast"`` — the **default**: additionally slice-lowers every affine
+  assignment (``coeff * var + offset`` subscripts become basic views), so
+  sequential reduction loops run as ordered folds of vectorized slice
+  updates.  Still bit-identical — per element the operations and their
+  order are unchanged; only operand materialization differs.
+* ``"native"`` — the fast engine plus an optional C backend: eligible
+  nests are translated to C (literal loop-for-loop translation, so the
+  accumulation order is identical by construction), compiled with the
+  system C compiler and called through ``cffi``.  Falls back to ``"fast"``
+  per nest — and entirely when the toolchain or ``cffi`` is absent.
+* ``"vectorized-fast"`` — lowers recognized full reduction nests
+  (GEMM/GEMV-class contractions) to ``np.einsum``; this reassociates
+  floating-point sums, so results are only approximately equal.  Kept for
+  comparison studies; superseded as a speed default by ``"fast"``.
+
+Use :func:`repro.ir.engine.lowering.program_lowering_report` (surfaced as
+``CompilationReport.nest_lowerings``) to see which tier every nest landed
+on and why.
 """
 
 from __future__ import annotations
@@ -26,9 +41,18 @@ from repro.ir.interp import CallHandler, Interpreter
 from repro.ir.program import Program
 
 from repro.ir.engine.engine import VectorizedEngine
+from repro.ir.engine.lowering import (
+    NestLowering,
+    StatementLowering,
+    program_lowering_report,
+)
+from repro.ir.engine.native import NativeEngine, native_available
 
 #: Valid values for the ``engine`` compile/execution option.
-ENGINE_MODES = ("interpreter", "vectorized", "vectorized-fast")
+ENGINE_MODES = ("interpreter", "vectorized", "fast", "native", "vectorized-fast")
+
+#: The default engine: the exact fold-lowered fast path.
+DEFAULT_ENGINE = "fast"
 
 
 def validate_engine(engine: str) -> str:
@@ -43,7 +67,7 @@ def validate_engine(engine: str) -> str:
 def make_engine(
     program: Program,
     call_handler: Optional[CallHandler] = None,
-    engine: str = "vectorized",
+    engine: str = DEFAULT_ENGINE,
 ) -> Interpreter:
     """Instantiate the execution engine selected by *engine*."""
     validate_engine(engine)
@@ -51,7 +75,22 @@ def make_engine(
         return Interpreter(program, call_handler=call_handler)
     if engine == "vectorized":
         return VectorizedEngine(program, call_handler=call_handler)
+    if engine == "fast":
+        return VectorizedEngine(program, call_handler=call_handler, fold=True)
+    if engine == "native":
+        return NativeEngine(program, call_handler=call_handler)
     return VectorizedEngine(program, call_handler=call_handler, reassociate=True)
 
 
-__all__ = ["ENGINE_MODES", "VectorizedEngine", "make_engine", "validate_engine"]
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_MODES",
+    "NativeEngine",
+    "NestLowering",
+    "StatementLowering",
+    "VectorizedEngine",
+    "make_engine",
+    "native_available",
+    "program_lowering_report",
+    "validate_engine",
+]

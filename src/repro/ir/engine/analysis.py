@@ -24,7 +24,22 @@ The engine turns a loop nest into an execution *plan*:
 
 The plan also records which reduction loops can be lowered to
 ``np.einsum`` contractions; the engine only uses those taggings in its
-opt-in "fast" mode because einsum reassociates the reduction sum.
+opt-in "vectorized-fast" mode because einsum reassociates the reduction
+sum.
+
+On top of the gather-based plan, every planned assignment is analysed for
+the exact **fold** lowering (the default "fast" engine): when every array
+subscript is affine with at most one vectorized variable per dimension
+(``coeff * var + offset``) and each vectorized variable separates exactly
+one dimension per reference, the assignment can be executed through basic
+NumPy slices (views) instead of broadcast index-grid gathers.  Sequential
+reduction loops then become ordered folds of vectorized slice updates —
+per element the exact same operations in the exact same order as the
+interpreter, so results stay bit-identical while the per-iteration cost
+drops from building and gathering index grids to taking views.  The
+analysis records a human-readable reason whenever an assignment cannot be
+slice-lowered; the engine falls back to the gather path (and the per-nest
+lowering report surfaces the reason).
 """
 
 from __future__ import annotations
@@ -53,6 +68,47 @@ from repro.poly.affine import affine_from_expr
 
 
 @dataclass
+class FoldDim:
+    """Lowering of one subscript dimension of one array reference.
+
+    ``kind`` is ``"scalar"`` (no vectorized variable: the index expression
+    evaluates to a plain integer) or ``"slice"`` (affine in exactly one
+    vectorized variable: ``coeff * vec_var + offset`` becomes a basic
+    slice).  ``expr`` is the original index expression — the engine
+    evaluates it with the vectorized variables bound to zero to recover
+    the runtime offset.
+    """
+
+    kind: str
+    expr: Expr
+    vec_var: Optional[str] = None
+    coeff: int = 0
+
+
+@dataclass
+class FoldRef:
+    """Slice lowering of one array reference."""
+
+    name: str
+    dims: tuple[FoldDim, ...]
+
+
+@dataclass
+class FoldSpec:
+    """Exact slice lowering of one planned assignment.
+
+    ``refs`` maps ``id()`` of every :class:`~repro.ir.expr.ArrayRef` node
+    in the right-hand side to its :class:`FoldRef`; ``target`` is the
+    lowering of the write.  The spec is only valid for the statement
+    objects it was built from (identity-keyed, like the plan itself).
+    """
+
+    target: FoldRef
+    refs: dict[int, FoldRef]
+    vec_vars: tuple[str, ...]
+
+
+@dataclass
 class PlanAssign:
     """One assignment inside a planned nest."""
 
@@ -60,6 +116,10 @@ class PlanAssign:
     #: Names of the enclosing vectorized loop variables, outermost first
     #: (filled in after classification).
     vec_vars: tuple[str, ...] = ()
+    #: Exact slice lowering ("fast" engine), or None with the reason why
+    #: this assignment stays on the gather path.
+    fold: Optional["FoldSpec"] = None
+    fold_reason: str = ""
 
 
 @dataclass
@@ -543,8 +603,138 @@ def _tag_einsum(nodes: list[PlanNode], loop_vars: set[str]) -> None:
 
 
 # ----------------------------------------------------------------------
+# Fold (exact slice) lowering analysis
+# ----------------------------------------------------------------------
+
+
+def _analyze_fold_ref(
+    name: str,
+    indices: tuple[Expr, ...],
+    vec_vars: tuple[str, ...],
+    loop_vars: set[str],
+) -> tuple[Optional[FoldRef], str]:
+    """Slice-lower one array reference, or explain why it cannot be."""
+    dims: list[FoldDim] = []
+    used: dict[str, int] = {}
+    for idx in indices:
+        free = idx.free_vars()
+        affine = affine_from_expr(idx, loop_vars, free - loop_vars)
+        if affine is None:
+            return None, f"non-affine subscript in {name}"
+        carriers = [v for v in vec_vars if affine.coeff(v) != 0]
+        if len(carriers) > 1:
+            return None, f"subscript of {name} couples vectorized axes"
+        if not carriers:
+            dims.append(FoldDim(kind="scalar", expr=idx))
+            continue
+        var = carriers[0]
+        used[var] = used.get(var, 0) + 1
+        if used[var] > 1:
+            return None, f"diagonal subscript in {name}"
+        dims.append(
+            FoldDim(kind="slice", expr=idx, vec_var=var, coeff=affine.coeff(var))
+        )
+    return FoldRef(name=name, dims=tuple(dims)), ""
+
+
+def analyze_fold_assign(
+    node: PlanAssign, loop_vars: set[str]
+) -> tuple[Optional[FoldSpec], str]:
+    """Exact slice lowering of one planned assignment, or the reason why
+    it must stay on the generic gather path."""
+    vec_vars = node.vec_vars
+    if not vec_vars:
+        return None, "statement has no vectorized axis"
+    stmt = node.stmt
+    target = stmt.target
+    assert isinstance(target, ArrayRef)
+    target_ref, reason = _analyze_fold_ref(
+        target.name, target.indices, vec_vars, loop_vars
+    )
+    if target_ref is None:
+        return None, reason
+    covered = {d.vec_var for d in target_ref.dims if d.kind == "slice"}
+    if covered != set(vec_vars):
+        missing = sorted(set(vec_vars) - covered)
+        return None, (
+            f"target {target.name} does not carry vectorized axis "
+            f"{', '.join(missing)}"
+        )
+    refs: dict[int, FoldRef] = {}
+    for sub in stmt.rhs.walk():
+        if not isinstance(sub, ArrayRef):
+            continue
+        ref, reason = _analyze_fold_ref(sub.name, sub.indices, vec_vars, loop_vars)
+        if ref is None:
+            return None, reason
+        refs[id(sub)] = ref
+    return FoldSpec(target=target_ref, refs=refs, vec_vars=vec_vars), ""
+
+
+def _annotate_folds(nodes: list[PlanNode], loop_vars: set[str]) -> None:
+    for node in nodes:
+        if isinstance(node, PlanAssign):
+            node.fold, node.fold_reason = analyze_fold_assign(node, loop_vars)
+        else:
+            _annotate_folds(node.body, loop_vars)
+
+
+def plan_assigns(plan: NestPlan) -> list[PlanAssign]:
+    """All planned assignments of a nest, in program order."""
+    out: list[PlanAssign] = []
+
+    def visit(nodes: list[PlanNode]) -> None:
+        for node in nodes:
+            if isinstance(node, PlanAssign):
+                out.append(node)
+            else:
+                visit(node.body)
+
+    visit(plan.nodes)
+    return out
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
+
+
+def _screen_reason(root: Loop) -> str:
+    """Why the structural screen rejected a nest (for the lowering report)."""
+    for node in root.walk():
+        if isinstance(node, Loop):
+            if not (_bound_expr_ok(node.lower) and _bound_expr_ok(node.upper)):
+                return f"loop {node.var} has a non-affine bound"
+        elif isinstance(node, Assign):
+            if not isinstance(node.target, ArrayRef):
+                return f"scalar accumulator {node.target}"
+            if not all(_index_expr_ok(i) for i in node.target.indices):
+                return f"unsupported subscript on {node.target.name}"
+            if not _value_expr_ok(node.rhs):
+                return f"unsupported value expression in {node.name}"
+        elif isinstance(node, Block):
+            continue
+        else:
+            return f"unsupported statement ({type(node).__name__})"
+    return "structural screen rejected the nest"
+
+
+def build_plan_with_reason(root: Loop) -> tuple[Optional[NestPlan], str]:
+    """Like :func:`build_plan`, but explains a ``None`` result."""
+    if not _screen_nest(root):
+        return None, _screen_reason(root)
+    enumerate_vars = _compute_enumerate_vars(root)
+    if enumerate_vars is None:
+        return None, "ragged bound enumeration (analytical trace unavailable)"
+    loop_vars = _loop_vars_in(root)
+    nodes = _rewrite_loop(root, loop_vars)
+    _classify(nodes, loop_vars)
+    plan = NestPlan(root=root, nodes=nodes, enumerate_vars=enumerate_vars)
+    if not plan.has_vectorized_loop:
+        return None, "no vectorizable axis"
+    _tag_einsum(nodes, loop_vars)
+    _annotate_folds(nodes, loop_vars)
+    return plan, ""
 
 
 def build_plan(root: Loop) -> Optional[NestPlan]:
@@ -553,16 +743,5 @@ def build_plan(root: Loop) -> Optional[NestPlan]:
     Returns ``None`` when the nest cannot be vectorized (the engine then
     falls back to the interpreter for this nest).
     """
-    if not _screen_nest(root):
-        return None
-    enumerate_vars = _compute_enumerate_vars(root)
-    if enumerate_vars is None:
-        return None
-    loop_vars = _loop_vars_in(root)
-    nodes = _rewrite_loop(root, loop_vars)
-    _classify(nodes, loop_vars)
-    plan = NestPlan(root=root, nodes=nodes, enumerate_vars=enumerate_vars)
-    if not plan.has_vectorized_loop:
-        return None  # nothing to gain over the interpreter
-    _tag_einsum(nodes, loop_vars)
+    plan, _ = build_plan_with_reason(root)
     return plan

@@ -18,6 +18,18 @@ Bit-identity with the interpreter is preserved by construction:
 * the execution trace is computed analytically from trip counts, applying
   the same per-execution increments the interpreter applies dynamically.
 
+The default ``fold`` mode (engine ``"fast"``) additionally executes
+slice-lowerable assignments through basic NumPy views instead of
+broadcast index-grid gathers: sequential reduction loops become ordered
+folds of vectorized slice updates.  Per element this performs the exact
+same operations in the exact same order as the interpreter — the fold
+path changes only how operands are *materialized* (views instead of
+gathered copies), so results stay bit-identical while the per-iteration
+constant cost drops sharply.  A runtime guard falls back to the gather
+path whenever a computed slice would leave the array bounds (negative
+indices wrap element-wise in NumPy, slices do not — the gather path
+preserves the interpreter's wrapping semantics exactly).
+
 The opt-in ``reassociate`` mode additionally lowers recognized reduction
 loops (GEMM/GEMV-class contractions) to ``np.einsum``, which changes the
 floating-point summation order — results are then only approximately equal.
@@ -25,6 +37,7 @@ floating-point summation order — results are then only approximately equal.
 
 from __future__ import annotations
 
+from collections import ChainMap
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -51,6 +64,8 @@ from repro.ir.interp import (
 from repro.ir.program import Program
 from repro.ir.stmt import Assign, Block, Loop, Stmt
 from repro.ir.engine.analysis import (
+    FoldRef,
+    FoldSpec,
     NestPlan,
     PlanAssign,
     PlanLoop,
@@ -174,6 +189,162 @@ class _VecFrame:
 
 
 # ----------------------------------------------------------------------
+# Fold (exact slice) compilation
+# ----------------------------------------------------------------------
+
+
+class _FoldBail(Exception):
+    """Raised when a slice-lowered access cannot run exactly at runtime
+    (out-of-bounds slice, non-integer offset); the engine retries the
+    assignment through the gather path, which matches the interpreter's
+    element-wise semantics including negative-index wrapping."""
+
+
+def _compile_fold_ref(
+    ref: FoldRef, vec_vars: tuple[str, ...]
+) -> Callable[[dict, dict, list, ChainMap], object]:
+    """Compile one slice-lowered array reference into a view getter.
+
+    The returned callable produces a view of the array whose axes follow
+    the engine's broadcast convention (one axis per vectorized frame, in
+    stack order, size one for frames this reference does not use).
+    """
+    total = len(vec_vars)
+    entries = []  # per dim: (is_slice, offset_fn, coeff, frame_pos)
+    used_positions = []
+    for dim in ref.dims:
+        fn = compile_expr(dim.expr)
+        if dim.kind == "scalar":
+            entries.append((False, fn, 0, 0))
+        else:
+            pos = vec_vars.index(dim.vec_var)
+            used_positions.append(pos)
+            entries.append((True, fn, dim.coeff, pos))
+    rank = len(entries)
+    # Static axis bookkeeping: after basic indexing the view's axes are the
+    # slice dimensions in array order; transpose them into frame order and
+    # insert size-one axes for unused frames.
+    perm = tuple(
+        sorted(range(len(used_positions)), key=lambda ax: used_positions[ax])
+    )
+    transpose = perm if perm != tuple(range(len(perm))) else None
+    used = set(used_positions)
+    expander = (
+        tuple(slice(None) if pos in used else None for pos in range(total))
+        if len(used) < total
+        else None
+    )
+    name = ref.name
+
+    def get(scalars, arrays, frames, overlay):
+        array = arrays.get(name)
+        if array is None:
+            raise InterpreterError(f"unbound array {name!r}")
+        shape = array.shape
+        if len(shape) != rank:
+            raise _FoldBail
+        key = []
+        for axis, (is_slice, fn, coeff, pos) in enumerate(entries):
+            value = fn(overlay, arrays)
+            if not is_slice:
+                key.append(int(value))
+                continue
+            if not isinstance(value, (int, np.integer)):
+                raise _FoldBail  # non-integer offset: int() per element differs
+            offset = int(value)
+            frame = frames[pos]
+            count = frame.values.shape[0]
+            start = coeff * frame.lower + offset
+            stride = coeff * frame.step
+            last = start + (count - 1) * stride
+            low, high = (start, last) if stride > 0 else (last, start)
+            if low < 0 or high >= shape[axis]:
+                raise _FoldBail  # gather path preserves wrap/raise semantics
+            if stride > 0:
+                stop = last + 1
+            else:
+                stop = last - 1 if last > 0 else None
+            key.append(slice(start, stop, stride))
+        view = array[tuple(key)]
+        if transpose is not None:
+            view = view.transpose(transpose)
+        if expander is not None:
+            view = view[expander]
+        return view
+
+    return get
+
+
+def _compile_fold_expr(
+    expr: Expr, spec: FoldSpec
+) -> Callable[[dict, dict, list, ChainMap], object]:
+    """Compile a right-hand side for fold execution.
+
+    Mirrors :func:`compile_vec_expr` node for node — same operators, same
+    NumPy promotion — but array references become slice views and
+    vectorized variables become reshaped frame-value arrays, so the
+    element-wise arithmetic (and therefore every result bit) is unchanged.
+    """
+    vec_vars = spec.vec_vars
+    if isinstance(expr, (IntConst, FloatConst)):
+        value = expr.value
+        return lambda s, a, f, o: value
+    if isinstance(expr, (VarRef, ParamRef)):
+        name = expr.name
+        if name in vec_vars:
+            pos = vec_vars.index(name)
+            shape_suffix = (1,) * (len(vec_vars) - pos - 1)
+
+            def eval_vec_var(s, a, f, o, _pos=pos, _suffix=shape_suffix):
+                values = f[_pos].values
+                return values.reshape((1,) * _pos + (-1,) + _suffix)
+
+            return eval_vec_var
+
+        def eval_var(s, a, f, o, _n=name):
+            try:
+                return s[_n]
+            except KeyError as exc:
+                raise InterpreterError(f"unbound variable {_n!r}") from exc
+
+        return eval_var
+    if isinstance(expr, ArrayRef):
+        ref = spec.refs[id(expr)]
+        return _compile_fold_ref(ref, vec_vars)
+    if isinstance(expr, BinOp):
+        lhs = _compile_fold_expr(expr.lhs, spec)
+        rhs = _compile_fold_expr(expr.rhs, spec)
+        op = expr.op
+        if op == "+":
+            return lambda s, a, f, o: lhs(s, a, f, o) + rhs(s, a, f, o)
+        if op == "-":
+            return lambda s, a, f, o: lhs(s, a, f, o) - rhs(s, a, f, o)
+        if op == "*":
+            return lambda s, a, f, o: lhs(s, a, f, o) * rhs(s, a, f, o)
+        if op == "/":
+            return lambda s, a, f, o: lhs(s, a, f, o) / rhs(s, a, f, o)
+        if op == "%":
+            return lambda s, a, f, o: lhs(s, a, f, o) % rhs(s, a, f, o)
+        raise InterpreterError(f"unknown operator {op!r}")
+    if isinstance(expr, UnaryOp):
+        operand = _compile_fold_expr(expr.operand, spec)
+        return lambda s, a, f, o: -operand(s, a, f, o)
+    raise InterpreterError(f"cannot evaluate expression {expr!r}")
+
+
+@dataclass
+class _FoldAssign:
+    """Compiled fold (slice) form of one planned assignment."""
+
+    rhs_fn: Callable
+    target_fn: Callable
+    reduction: Optional[str]
+    #: Zero bindings for every vectorized variable: evaluating an affine
+    #: index with the vectorized variables at zero yields its offset.
+    zeros: dict
+
+
+# ----------------------------------------------------------------------
 # Analytical bound evaluation (integers and integer arrays)
 # ----------------------------------------------------------------------
 
@@ -236,11 +407,14 @@ class VectorizedEngine(Interpreter):
         program: Program,
         call_handler: Optional[CallHandler] = None,
         reassociate: bool = False,
+        fold: bool = False,
     ):
         super().__init__(program, call_handler)
         self.reassociate = reassociate
+        self.fold = fold
         self._nest_plans: dict[int, Optional[NestPlan]] = {}
         self._vec_assigns: dict[int, _VecAssign] = {}
+        self._fold_assigns: dict[int, Optional[_FoldAssign]] = {}
         self._vec_stack: list[_VecFrame] = []
 
     # ------------------------------------------------------------------
@@ -265,15 +439,24 @@ class VectorizedEngine(Interpreter):
             plan = self.nest_plan(stmt)
             if plan is not None:
                 self._account_nest(plan)
-                saved_stack = self._vec_stack
-                self._vec_stack = []
-                try:
-                    for node in plan.nodes:
-                        self._exec_plan_node(node)
-                finally:
-                    self._vec_stack = saved_stack
+                self._exec_planned_nest(plan)
                 return
         super()._exec_stmt(stmt)
+
+    def _exec_planned_nest(self, plan: NestPlan) -> None:
+        """Execute one planned (already accounted) nest.
+
+        Subclasses may override to dispatch the nest elsewhere; calling
+        ``super()`` runs the Python plan without touching accounting, so
+        an override can fall back here safely.
+        """
+        saved_stack = self._vec_stack
+        self._vec_stack = []
+        try:
+            for node in plan.nodes:
+                self._exec_plan_node(node)
+        finally:
+            self._vec_stack = saved_stack
 
     # ------------------------------------------------------------------
     # Plan execution
@@ -340,6 +523,17 @@ class VectorizedEngine(Interpreter):
         return compiled
 
     def _exec_plan_assign(self, node: PlanAssign) -> None:
+        if self.fold and node.fold is not None:
+            compiled = self._fold_assigns.get(id(node), _UNSET)
+            if compiled is _UNSET:
+                compiled = self._compile_fold_assign(node)
+                self._fold_assigns[id(node)] = compiled
+            if compiled is not None:
+                try:
+                    self._exec_fold_assign(compiled)
+                    return
+                except _FoldBail:
+                    pass  # gather path below: interpreter-exact semantics
         compiled = self._compile_vec_assign(node)
         scalars = self.scalars
         arrays = self.arrays
@@ -353,6 +547,36 @@ class VectorizedEngine(Interpreter):
             array[idx] *= value
         else:
             array[idx] = value
+
+    # ------------------------------------------------------------------
+    # Fold (exact slice) execution
+    # ------------------------------------------------------------------
+    def _compile_fold_assign(self, node: PlanAssign) -> Optional[_FoldAssign]:
+        spec = node.fold
+        assert spec is not None
+        try:
+            return _FoldAssign(
+                rhs_fn=_compile_fold_expr(node.stmt.rhs, spec),
+                target_fn=_compile_fold_ref(spec.target, spec.vec_vars),
+                reduction=node.stmt.reduction,
+                zeros={var: 0 for var in spec.vec_vars},
+            )
+        except InterpreterError:
+            return None  # unsupported node slipped through: gather path
+
+    def _exec_fold_assign(self, compiled: _FoldAssign) -> None:
+        scalars = self.scalars
+        arrays = self.arrays
+        frames = self._vec_stack
+        overlay = ChainMap(compiled.zeros, scalars)
+        view = compiled.target_fn(scalars, arrays, frames, overlay)
+        value = compiled.rhs_fn(scalars, arrays, frames, overlay)
+        if compiled.reduction == "+":
+            view += value
+        elif compiled.reduction == "*":
+            view *= value
+        else:
+            view[...] = value
 
     # ------------------------------------------------------------------
     # Einsum lowering (fast mode)

@@ -38,9 +38,11 @@ from repro.serve.request import RequestHandle
 from repro.serve.server import CimServer
 from repro.trace.schema import (
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     Trace,
     TraceFormatError,
     build_trace,
+    dedupe_payload,
     encode_array,
     encode_compile_options,
     encode_fault_plan,
@@ -49,13 +51,33 @@ from repro.trace.schema import (
 
 
 class TraceRecorder:
-    """Capture one server run as a versioned, replayable event stream."""
+    """Capture one server run as a versioned, replayable event stream.
 
-    def __init__(self) -> None:
+    ``schema_version`` selects the on-disk format (default: the current
+    :data:`~repro.trace.schema.SCHEMA_VERSION`).  Version 2 deduplicates
+    array payloads by content hash; recording at version 1 keeps every
+    payload in full — the replayer uses this to re-record a replay at the
+    source trace's version, so old fixtures diff cleanly forever.
+    """
+
+    def __init__(self, schema_version: int = SCHEMA_VERSION) -> None:
+        if schema_version not in SUPPORTED_VERSIONS:
+            raise TraceFormatError(
+                f"cannot record schema_version {schema_version}; "
+                f"supported: {sorted(SUPPORTED_VERSIONS)}"
+            )
+        self.schema_version = schema_version
         self.events: list[dict] = []
         self.handles: list[RequestHandle] = []
         self._server: Optional[Union[CimServer, FleetServer]] = None
         self._finalized = False
+        self._seen_payloads: set[str] = set()
+
+    def _encode_payload(self, value) -> dict:
+        payload = encode_array(np.asarray(value))
+        if self.schema_version >= 2:
+            payload = dedupe_payload(payload, self._seen_payloads)
+        return payload
 
     # ------------------------------------------------------------------
     # Attachment
@@ -93,7 +115,7 @@ class TraceRecorder:
         self.events.append(
             {
                 "event": "header",
-                "schema_version": SCHEMA_VERSION,
+                "schema_version": self.schema_version,
                 "kind": kind,
                 "config": config,
             }
@@ -169,7 +191,7 @@ class TraceRecorder:
                         for key, value in (params or {}).items()
                     },
                     "arrays": {
-                        name: encode_array(np.asarray(value))
+                        name: self._encode_payload(value)
                         for name, value in (arrays or {}).items()
                     },
                     "arrival_s": handle.arrival_s,
@@ -241,7 +263,7 @@ class TraceRecorder:
         self._finalized = True
         server = self._server
         for handle in self.handles:
-            self.events.append(_response_event(handle))
+            self.events.append(_response_event(handle, self._encode_payload))
         ledger = server.ledger
         for tenant in sorted(ledger.tenants):
             account = ledger.tenants[tenant]
@@ -331,8 +353,11 @@ class TraceRecorder:
 
 
 # ----------------------------------------------------------------------
-def _response_event(handle: RequestHandle) -> dict:
+def _response_event(handle: RequestHandle, encode_payload=None) -> dict:
     from repro.serve.request import RequestStatus
+
+    if encode_payload is None:
+        encode_payload = lambda value: encode_array(np.asarray(value))  # noqa: E731
 
     event = {
         "event": "response",
@@ -352,7 +377,7 @@ def _response_event(handle: RequestHandle) -> dict:
     }
     if handle.status is RequestStatus.COMPLETED:
         event["result"] = {
-            name: encode_array(value) for name, value in handle.result().items()
+            name: encode_payload(value) for name, value in handle.result().items()
         }
     return event
 

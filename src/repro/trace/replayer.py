@@ -137,7 +137,10 @@ class TraceReplayer:
     # ------------------------------------------------------------------
     def replay(self) -> ReplayResult:
         """Record a fresh run of the recorded workload and diff it."""
-        recorder = TraceRecorder()
+        # Record at the source trace's schema version, so replaying an
+        # old fixture produces a byte-comparable trace (a v1 fixture must
+        # never be diffed against a v2 re-recording).
+        recorder = TraceRecorder(schema_version=self.trace.schema_version)
         server = recorder.attach(self.build_server())
         for event in self.trace.body():
             if event["event"] == "quota":

@@ -12,8 +12,9 @@ one event per line, human-greppable, append-only while recording:
   seeded :class:`~repro.fleet.faults.FaultPlan`);
 * ``quota`` and ``submit`` events in submission order — a submission
   records the tenant, the mini-C kernel source, the runtime parameters
-  and every payload array in full (base64 bytes + dtype/shape + sha256
-  content hash), so replay re-drives byte-identical inputs;
+  and every payload array (base64 bytes + dtype/shape + sha256 content
+  hash), so replay re-drives byte-identical inputs; since schema v2,
+  repeated payloads are stored once and referenced by content hash;
 * observational ``attempt`` / ``commit`` / ``fault`` events emitted from
   the :class:`~repro.serve.dispatch.LeaseExecutor` hook seam (device id,
   device-clock timestamp, attempt number, faulted op);
@@ -40,7 +41,7 @@ import base64
 import hashlib
 import json
 import math
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
@@ -51,9 +52,20 @@ from repro.serve.admission import TenantQuota
 
 #: Version of the on-disk trace format.  Bump on any incompatible change
 #: to the event schema; readers reject every version they do not know.
-SCHEMA_VERSION = 1
+#:
+#: * v1 — every array payload carries its bytes in full.
+#: * v2 — payloads are deduplicated by content hash: the first occurrence
+#:   of a sha256 carries the bytes, later occurrences record only
+#:   ``dtype``/``shape``/``sha256`` and resolve against the earlier
+#:   payload.  Readers accept both versions; the semantic views of
+#:   :class:`Trace` rehydrate references transparently, so consumers are
+#:   version-agnostic.
+SCHEMA_VERSION = 2
 
-#: Every event kind a version-1 trace may contain.
+#: Schema versions this reader understands.
+SUPPORTED_VERSIONS = frozenset({1, 2})
+
+#: Every event kind a trace may contain (unchanged between v1 and v2).
 EVENT_KINDS = frozenset(
     {
         "header",
@@ -120,8 +132,59 @@ def decode_array(payload: dict, where: str = "payload") -> np.ndarray:
     return np.frombuffer(raw, dtype=dtype).reshape(shape).copy()
 
 
-def _validate_payload(payload: dict, where: str) -> None:
+def dedupe_payload(payload: dict, seen: set[str]) -> dict:
+    """Schema-v2 payload dedup: the first payload with a given content
+    hash keeps its bytes; later ones become references (no ``data``)."""
+    sha = payload["sha256"]
+    if sha in seen:
+        return {
+            "dtype": payload["dtype"],
+            "shape": payload["shape"],
+            "sha256": sha,
+        }
+    seen.add(sha)
+    return payload
+
+
+def resolve_payload(payload: dict, data_index: dict[str, str]) -> dict:
+    """Rehydrate a v2 payload reference from *data_index* (sha256 →
+    base64 bytes).  Full payloads pass through (and are indexed)."""
+    if "data" in payload:
+        data_index.setdefault(payload["sha256"], payload["data"])
+        return payload
+    try:
+        data = data_index[payload["sha256"]]
+    except KeyError:
+        raise TraceFormatError(
+            f"deduplicated payload references unknown sha256 "
+            f"{payload.get('sha256')!r}"
+        ) from None
+    return {**payload, "data": data}
+
+
+def _validate_payload(
+    payload: dict,
+    where: str,
+    data_index: Optional[dict[str, str]] = None,
+    allow_refs: bool = False,
+) -> None:
+    if not isinstance(payload, dict):
+        raise TraceFormatError(f"{where}: array payload is not an object")
+    if "data" not in payload:
+        if not allow_refs:
+            raise TraceFormatError(
+                f"{where}: array payload missing data (schema v1 records "
+                "every payload in full)"
+            )
+        try:
+            payload = resolve_payload(payload, data_index or {})
+        except TraceFormatError as exc:
+            raise TraceFormatError(f"{where}: {exc}") from None
+        decode_array(payload, where=where)
+        return
     decode_array(payload, where=where)  # raises TraceFormatError on any problem
+    if data_index is not None:
+        data_index.setdefault(payload["sha256"], payload["data"])
 
 
 # ----------------------------------------------------------------------
@@ -222,9 +285,20 @@ def decode_fault_plan(encoded: Optional[dict]):
 @dataclass
 class Trace:
     """One fully-validated trace: the parsed event list, header first,
-    ``end`` footer last."""
+    ``end`` footer last.
+
+    :attr:`events` holds the trace exactly as stored on disk — in a v2
+    trace that includes deduplicated payload references.  The semantic
+    views (:meth:`body`, :meth:`submissions`, :meth:`responses`, …)
+    rehydrate references transparently, so consumers always see full
+    payloads regardless of schema version; :meth:`dumps` serializes the
+    raw events, preserving the dedup on round-trip."""
 
     events: list[dict]
+    #: Lazily-built rehydrated view of the interior events.
+    _body_cache: Optional[list[dict]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     # -- structural views ----------------------------------------------
     @property
@@ -245,8 +319,15 @@ class Trace:
         return self.header["config"]
 
     def body(self) -> list[dict]:
-        """Every event between the header and the ``end`` footer."""
-        return self.events[1:-1]
+        """Every event between the header and the ``end`` footer, with
+        deduplicated payload references rehydrated to full payloads."""
+        if self._body_cache is None:
+            data_index: dict[str, str] = {}
+            self._body_cache = [
+                _rehydrate_event(event, data_index)
+                for event in self.events[1:-1]
+            ]
+        return self._body_cache
 
     def of_kind(self, kind: str) -> list[dict]:
         return [event for event in self.body() if event["event"] == kind]
@@ -280,6 +361,24 @@ class Trace:
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(self.dumps())
         return path
+
+
+def _rehydrate_event(event: dict, data_index: dict[str, str]) -> dict:
+    """Return *event* with payload references resolved (copy-on-write:
+    events without references are returned as-is)."""
+    for key in ("arrays", "result"):
+        payloads = event.get(key)
+        if not isinstance(payloads, dict):
+            continue
+        resolved = {
+            name: resolve_payload(payload, data_index)
+            for name, payload in payloads.items()
+        }
+        if any(
+            resolved[name] is not payloads[name] for name in payloads
+        ):
+            event = {**event, key: resolved}
+    return event
 
 
 def build_trace(events: Iterable[dict]) -> Trace:
@@ -349,10 +448,11 @@ def _validate_events(events: list[dict]) -> Trace:
     version = header.get("schema_version")
     if not isinstance(version, int) or isinstance(version, bool):
         raise TraceFormatError("header: schema_version missing or not an integer")
-    if version != SCHEMA_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise TraceFormatError(
             f"unsupported schema_version {version} (this reader understands "
-            f"only version {SCHEMA_VERSION}); re-record the trace or upgrade"
+            f"versions {sorted(SUPPORTED_VERSIONS)}); re-record the trace "
+            "or upgrade"
         )
     if header.get("kind") not in TRACE_KINDS:
         raise TraceFormatError(
@@ -379,7 +479,12 @@ def _validate_events(events: list[dict]) -> Trace:
                 "two traces concatenated?"
             )
     # Payload integrity: every recorded array must decode and match its
-    # content hash *now*, so a corrupt trace can never be partially replayed.
+    # content hash *now*, so a corrupt trace can never be partially
+    # replayed.  In a v2 trace payloads may be deduplicated references;
+    # they must resolve against an *earlier* full payload (the scan runs
+    # in event order, mirroring how the recorder deduplicates).
+    allow_refs = version >= 2
+    data_index: dict[str, str] = {}
     for index, event in enumerate(events, 1):
         if event["event"] == "submit":
             for key in _SUBMIT_REQUIRED:
@@ -391,8 +496,18 @@ def _validate_events(events: list[dict]) -> Trace:
             if not isinstance(arrays, dict):
                 raise TraceFormatError(f"line {index}: submit arrays not a dict")
             for name, payload in arrays.items():
-                _validate_payload(payload, f"line {index}: submit array {name!r}")
+                _validate_payload(
+                    payload,
+                    f"line {index}: submit array {name!r}",
+                    data_index=data_index,
+                    allow_refs=allow_refs,
+                )
         elif event["event"] == "response":
             for name, payload in (event.get("result") or {}).items():
-                _validate_payload(payload, f"line {index}: result array {name!r}")
+                _validate_payload(
+                    payload,
+                    f"line {index}: result array {name!r}",
+                    data_index=data_index,
+                    allow_refs=allow_refs,
+                )
     return Trace(events=events)

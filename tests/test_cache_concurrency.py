@@ -116,3 +116,92 @@ def test_concurrent_compiles_share_one_cache():
     for result in results:
         assert to_source(result.program) == reference
     assert len(cache) == 1
+
+
+# ----------------------------------------------------------------------
+# Cross-process file locking (PR 8 satellite)
+# ----------------------------------------------------------------------
+def test_disk_operations_take_the_cross_process_lock(tmp_path):
+    fcntl = pytest.importorskip("fcntl")  # noqa: F841 - POSIX-only tests
+    cache = KernelCompileCache(disk_dir=tmp_path)
+    cache.put("locked-key", ("payload", "locked-key"))
+    assert (tmp_path / ".lock").exists()
+    fresh = KernelCompileCache(disk_dir=tmp_path)
+    assert fresh.get("locked-key") == ("payload", "locked-key")
+    assert fresh.lock_timeouts == 0
+
+
+def test_held_lock_degrades_to_miss_within_timeout(tmp_path):
+    """A wedged holder must cost at most ``lock_timeout_s`` and then the
+    operation degrades — a load becomes a miss, a store is skipped —
+    instead of blocking a compile forever."""
+    fcntl = pytest.importorskip("fcntl")
+    cache = KernelCompileCache(disk_dir=tmp_path, lock_timeout_s=0.05)
+    cache.put("key", ("payload", "key"))  # creates dir, .lock and entry
+
+    import time
+
+    with open(tmp_path / ".lock", "a+b") as holder:
+        fcntl.flock(holder.fileno(), fcntl.LOCK_EX)
+        try:
+            fresh = KernelCompileCache(disk_dir=tmp_path, lock_timeout_s=0.05)
+            start = time.monotonic()
+            assert fresh.get("key") is None  # on disk, but unreachable
+            elapsed = time.monotonic() - start
+            assert elapsed < 2.0  # bounded, not a deadlock
+            assert fresh.lock_timeouts == 1
+            assert fresh.misses == 1
+
+            fresh.put("other", ("payload", "other"))  # store is skipped
+            assert fresh.lock_timeouts == 2
+            assert not (tmp_path / "other.pkl").exists()
+            # ...but the in-memory copy still serves this process.
+            assert fresh.get("other") == ("payload", "other")
+        finally:
+            fcntl.flock(holder.fileno(), fcntl.LOCK_UN)
+
+    # Lock released: the same cache reaches the disk again.
+    assert fresh.get("key") == ("payload", "key")
+
+
+def test_lock_timeout_validation():
+    with pytest.raises(ValueError, match="lock_timeout_s"):
+        KernelCompileCache(lock_timeout_s=-1.0)
+
+
+def test_lock_contention_across_real_processes(tmp_path):
+    """Two processes hammering the same disk directory stay consistent:
+    every stored entry is recoverable and uncorrupted."""
+    import subprocess
+    import sys
+
+    script = (
+        "import sys\n"
+        "sys.path.insert(0, sys.argv[2])\n"
+        "from repro.compiler import KernelCompileCache\n"
+        "cache = KernelCompileCache(disk_dir=sys.argv[1])\n"
+        "for round_no in range(30):\n"
+        "    for i in range(8):\n"
+        "        key = f'proc-key-{i}'\n"
+        "        value = cache.get(key)\n"
+        "        if value is None:\n"
+        "            cache.put(key, ('payload', key))\n"
+        "        else:\n"
+        "            assert value == ('payload', key), value\n"
+    )
+    import pathlib
+
+    src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", script, str(tmp_path), src],
+            stderr=subprocess.PIPE,
+        )
+        for _ in range(3)
+    ]
+    for proc in procs:
+        _, err = proc.communicate(timeout=120)
+        assert proc.returncode == 0, err.decode()
+    fresh = KernelCompileCache(disk_dir=tmp_path)
+    for i in range(8):
+        assert fresh.get(f"proc-key-{i}") == ("payload", f"proc-key-{i}")

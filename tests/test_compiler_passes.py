@@ -148,7 +148,7 @@ def test_pass_timings_populated_for_every_pass():
     # The parse pass materialises the program; lowering reassembles it.
     assert result.report.pass_timings[0].ir_size_before == 0
     assert result.report.pass_timings[0].ir_size_after > 0
-    assert result.report.pass_timings[-1].name == "lower"
+    assert result.report.pass_timings[-1].name == "engine-lower"
     assert result.report.timing_summary()
 
 

@@ -11,12 +11,17 @@ import numpy as np
 import pytest
 
 from repro import CompileOptions, OffloadExecutor, compile_source
-from repro.ir import Interpreter, VectorizedEngine
+from repro.ir import Interpreter
 from repro.ir.interp import ExecutionTrace
 from repro.system import CimSystem, SystemConfig
 from repro.workloads.polybench import KERNELS
 
 DATASET = "MINI"
+
+#: Engines that must match the interpreter bit for bit, trace included.
+#: "native" silently degrades to the fold tier when the optional C
+#: toolchain is absent — still exact, so it is always safe to test.
+EXACT_ENGINES = ("vectorized", "fast", "native")
 
 
 def _reports_equal(a, b) -> list[str]:
@@ -70,19 +75,25 @@ def test_offloaded_execution_is_engine_invariant(kernel_name, crossbar_mode):
 
     outputs = {}
     reports = {}
-    for engine in ("interpreter", "vectorized"):
+    for engine in ("interpreter",) + EXACT_ENGINES:
         system = CimSystem(SystemConfig(crossbar_mode=crossbar_mode))
         executor = OffloadExecutor(system, engine=engine)
         outputs[engine], reports[engine] = executor.run(result.program, params, arrays)
 
-    for name in outputs["interpreter"]:
-        np.testing.assert_array_equal(
-            outputs["interpreter"][name],
-            outputs["vectorized"][name],
-            err_msg=f"{kernel_name}/{crossbar_mode}: array {name!r} not bit-identical",
+    for engine in EXACT_ENGINES:
+        for name in outputs["interpreter"]:
+            np.testing.assert_array_equal(
+                outputs["interpreter"][name],
+                outputs[engine][name],
+                err_msg=(
+                    f"{kernel_name}/{crossbar_mode}/{engine}: "
+                    f"array {name!r} not bit-identical"
+                ),
+            )
+        diffs = _reports_equal(reports["interpreter"], reports[engine])
+        assert not diffs, (
+            f"{kernel_name}/{crossbar_mode}/{engine}: report mismatch: {diffs}"
         )
-    diffs = _reports_equal(reports["interpreter"], reports["vectorized"])
-    assert not diffs, f"{kernel_name}/{crossbar_mode}: report mismatch: {diffs}"
 
 
 @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
@@ -96,18 +107,19 @@ def test_host_only_execution_is_engine_invariant(kernel_name):
 
     outputs = {}
     reports = {}
-    for engine in ("interpreter", "vectorized"):
+    for engine in ("interpreter",) + EXACT_ENGINES:
         executor = OffloadExecutor(engine=engine)
         outputs[engine], reports[engine] = executor.run(result.program, params, arrays)
 
-    for name in outputs["interpreter"]:
-        np.testing.assert_array_equal(
-            outputs["interpreter"][name],
-            outputs["vectorized"][name],
-            err_msg=f"{kernel_name}: array {name!r} not bit-identical",
-        )
-    diffs = _reports_equal(reports["interpreter"], reports["vectorized"])
-    assert not diffs, f"{kernel_name}: report mismatch: {diffs}"
+    for engine in EXACT_ENGINES:
+        for name in outputs["interpreter"]:
+            np.testing.assert_array_equal(
+                outputs["interpreter"][name],
+                outputs[engine][name],
+                err_msg=f"{kernel_name}/{engine}: array {name!r} not bit-identical",
+            )
+        diffs = _reports_equal(reports["interpreter"], reports[engine])
+        assert not diffs, f"{kernel_name}/{engine}: report mismatch: {diffs}"
 
 
 @pytest.mark.parametrize("kernel_name", sorted(KERNELS))
@@ -120,15 +132,17 @@ def test_raw_program_traces_match(kernel_name):
     params = kernel.params(DATASET)
     arrays = kernel.arrays(DATASET, seed=5)
 
-    interp = Interpreter(program)
-    out_i = interp.run(params, arrays)
-    engine = VectorizedEngine(program)
-    out_v = engine.run(params, arrays)
+    from repro.ir.engine import make_engine
 
-    for name in out_i:
-        np.testing.assert_array_equal(out_i[name], out_v[name])
-    assert interp.trace == engine.trace
-    assert isinstance(engine.trace, ExecutionTrace)
+    interp = Interpreter(program)
+    out_i = interp.run(params, {k: v.copy() for k, v in arrays.items()})
+    for engine_name in EXACT_ENGINES:
+        engine = make_engine(program, engine=engine_name)
+        out_v = engine.run(params, {k: v.copy() for k, v in arrays.items()})
+        for name in out_i:
+            np.testing.assert_array_equal(out_i[name], out_v[name])
+        assert interp.trace == engine.trace
+        assert isinstance(engine.trace, ExecutionTrace)
 
 
 @pytest.mark.parametrize("kernel_name", ["gemm", "2mm", "3mm", "mvt"])

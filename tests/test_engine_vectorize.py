@@ -207,7 +207,7 @@ def test_run_engine_typo_raises_before_resetting_stats(gemm_source, rng):
     with pytest.raises(ValueError):
         executor.run(result, params, arrays, engine="vectorised")
     assert len(executor.system.accelerator.completed_runs) == runs_before
-    assert executor.last_engine_used == "vectorized"  # unchanged by the typo
+    assert executor.last_engine_used == "fast"  # unchanged by the typo
 
 
 def test_statement_beside_triangular_loop_counts_exactly():
@@ -359,7 +359,7 @@ def test_executor_honours_compile_options_engine(gemm_source, rng):
     assert executor.last_engine_used == "vectorized"
     # A bare Program falls back to the executor's own default.
     executor.run(result.program, params, arrays)
-    assert executor.last_engine_used == "vectorized"
+    assert executor.last_engine_used == "fast"
     # An explicit constructor engine also wins over the compiled options.
     result.options.engine = "vectorized"
     pinned = OffloadExecutor(engine="interpreter")

@@ -145,3 +145,22 @@ def test_module_is_runnable_as_dash_m():
     assert callable(repro.cli.main)
     with pytest.raises(SystemExit):
         main(["--help"])  # argparse exits 0 on --help
+
+
+def test_bench_reports_skip_visibly_and_exits_zero(monkeypatch, capsys):
+    """A benchmark that exits 3 ("skipped: optional toolchain missing")
+    must not fail `repro bench` — the skip is reported and the run goes
+    on (PR 8 satellite)."""
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    assert main(["bench", "engine", "--smoke", "--", "--require-native"]) == 0
+    out = capsys.readouterr().out
+    assert "SKIPPED" in out
+    assert "optional toolchain" in out
+
+
+def test_bench_forwards_extra_flags_after_separator(capsys):
+    """Unknown flags after `--` reach the benchmark script; other
+    subcommands keep strict argument rejection."""
+    with pytest.raises(SystemExit) as exc:
+        main(["diff", "a.jsonl", "b.jsonl", "--warp-drive"])
+    assert exc.value.code == 2

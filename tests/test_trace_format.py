@@ -213,3 +213,98 @@ def test_bad_config_rejected_at_build_server(trace):
     events[0]["config"]["warp_drive"] = True
     with pytest.raises(TraceFormatError, match="does not rebuild"):
         TraceReplayer(Trace(events=events)).build_server()
+
+
+# ----------------------------------------------------------------------
+# Schema v2: payload deduplication (PR 8 satellite)
+# ----------------------------------------------------------------------
+def _array_payloads(raw_events):
+    for event in raw_events:
+        for key in ("arrays", "result"):
+            payloads = event.get(key)
+            if isinstance(payloads, dict):
+                yield from payloads.values()
+
+
+def test_v2_recording_dedups_repeated_payloads(trace, lines):
+    """The canonical serving scenario submits identical arrays many
+    times; at schema v2 each distinct content hash is stored in full
+    exactly once and every repeat is a byte-free reference."""
+    assert trace.schema_version == SCHEMA_VERSION == 2
+    raw = [json.loads(line) for line in lines]
+    full, refs = {}, 0
+    for payload in _array_payloads(raw):
+        if "data" in payload:
+            full[payload["sha256"]] = full.get(payload["sha256"], 0) + 1
+        else:
+            refs += 1
+    assert refs > 0, "scenario should contain repeated payloads"
+    assert full, "first occurrence of each hash keeps its bytes"
+    assert all(count == 1 for count in full.values())
+
+
+def test_v2_semantic_views_rehydrate(trace):
+    """submissions()/responses() always hand back full payloads — the
+    dedup is invisible above the storage layer."""
+    for submit in trace.submissions():
+        for payload in submit["arrays"].values():
+            assert "data" in payload
+            decode_array(payload)  # bytes still match their hash
+
+
+def test_v2_roundtrip_preserves_dedup_and_content(trace):
+    reloaded = loads_trace(trace.dumps())
+    assert reloaded.dumps() == trace.dumps()
+    originals = {s["request_id"]: s for s in trace.submissions()}
+    for submit in reloaded.submissions():
+        reference = originals[submit["request_id"]]
+        for name, payload in submit["arrays"].items():
+            assert (
+                decode_array(payload).tobytes()
+                == decode_array(reference["arrays"][name]).tobytes()
+            )
+
+
+def test_v2_dangling_reference_rejected(lines):
+    """A reference must resolve against an *earlier* full payload."""
+
+    def orphan(event):
+        name = next(iter(event["arrays"]))
+        payload = event["arrays"][name]
+        event["arrays"][name] = {
+            "dtype": payload["dtype"],
+            "shape": payload["shape"],
+            "sha256": "0" * 64,
+        }
+
+    with pytest.raises(TraceFormatError, match="unknown sha256"):
+        loads_trace(_tamper_first_submit(lines, orphan))
+
+
+def test_v1_trace_must_carry_full_payloads(lines):
+    """Back-compat contract: a v1 trace with a v2-style reference is
+    rejected — v1 records every payload in full."""
+
+    def make_ref(event):
+        name = next(iter(event["arrays"]))
+        del event["arrays"][name]["data"]
+
+    tampered = _tamper_first_submit(lines, make_ref)
+    downgraded = _mutate_header(tampered.splitlines(), schema_version=1)
+    with pytest.raises(TraceFormatError, match="schema v1 records"):
+        loads_trace(downgraded)
+
+
+def test_recorder_rejects_unsupported_version():
+    from repro.trace.recorder import TraceRecorder
+
+    with pytest.raises(TraceFormatError, match="cannot record schema_version"):
+        TraceRecorder(schema_version=7)
+
+
+def test_v2_trace_is_smaller_than_hydrated_equivalent(trace):
+    """Dedup is the point: the stored (deduplicated) event stream is
+    materially smaller than the same events with every payload in full."""
+    stored = json.dumps(trace.events)
+    hydrated = json.dumps([trace.events[0], *trace.body(), trace.events[-1]])
+    assert len(stored) < 0.75 * len(hydrated)

@@ -44,6 +44,18 @@ def _headline_engine_speed(data: dict) -> str:
     )
 
 
+def _headline_engine_lowering(data: dict) -> str:
+    coverage = data.get("coverage", {})
+    fraction = coverage.get("fold_or_better_fraction")
+    if fraction is None:
+        return "no results"
+    return (
+        f"{fraction:.0%} of {coverage.get('nest_count', '?')} PolyBench "
+        f"nests slice-fold exactly "
+        f"({coverage.get('native_eligible_fraction', 0):.0%} native-eligible)"
+    )
+
+
 def _headline_multitile(data: dict) -> str:
     scaling = data.get("tile_scaling", [])
     cache = data.get("compile_cache", [])
@@ -99,6 +111,7 @@ def _headline_fleet(data: dict) -> str:
 #: benchmark-name -> headline extractor; unknown names fall back to keys.
 HEADLINERS = {
     "engine_speed": _headline_engine_speed,
+    "engine_lowering": _headline_engine_lowering,
     "multitile_scaling": _headline_multitile,
     "pipeline_ablation": _headline_pipelines,
     "serving_throughput": _headline_serving,
@@ -125,6 +138,13 @@ def _gate_multitile(data: dict) -> dict:
     return metrics
 
 
+def _gate_engine_lowering(data: dict) -> dict:
+    # Tier classification is static analysis — identical in smoke and
+    # full runs and across machines, so the gate is perfectly stable.
+    fraction = data.get("coverage", {}).get("fold_or_better_fraction")
+    return {"fold_or_better_fraction": fraction} if fraction is not None else {}
+
+
 def _gate_serving(data: dict) -> dict:
     value = data.get("speedup_at_4_tiles")
     return {"speedup_at_4_tiles": value} if value is not None else {}
@@ -144,6 +164,7 @@ def _gate_fleet(data: dict) -> dict:
 #: machine-dependent pass wall-times, which would make the gate flaky.
 GATE_METRICS = {
     "engine_speed": _gate_engine_speed,
+    "engine_lowering": _gate_engine_lowering,
     "multitile_scaling": _gate_multitile,
     "serving_throughput": _gate_serving,
     "fleet_failover": _gate_fleet,
