@@ -1,0 +1,246 @@
+"""Wall-clock gateway benchmark (PR 9 trajectory point).
+
+Three studies on the process-pool serving gateway:
+
+1. **Capacity probe.**  A short back-to-back burst (Poisson plan at an
+   offered rate far above capacity, so every request fires immediately)
+   measures the pool's sustainable throughput on this machine.
+
+2. **Open-loop Poisson serving.**  The headline study: >= 10k requests
+   offered at ~70% of measured capacity, latency measured on the *wall
+   clock* — real seconds through real worker processes, not simulated
+   time.  Reports p50/p99/mean/max latency, achieved throughput and
+   per-worker utilization; the pool must serve every request and the
+   exactly-once accounting partition must reconcile.
+
+3. **Trace-resampled arrivals.**  The golden serving trace's recorded
+   arrival pattern, tiled/amplified to ~50% of capacity with seeded
+   jitter, its submissions replayed byte-for-byte — the recorded
+   workload under wall-clock load, including its deliberately failing
+   request.
+
+As the correctness leg, the differential gate drives the golden trace
+through VirtualClock mode and the wall-clock pool and requires
+bit-identical responses and accounting (see
+:mod:`repro.gateway.differential`).
+
+The acceptance gate asserts: every offered request answered, zero
+rejections, the expected failure count (the trace study inherits the
+recording's one bad submission per cycle), an exact accounting
+partition in every study, and a bit-identical differential.  Results go
+to ``BENCH_PR9.json``.  Latency/throughput numbers are machine-dependent
+and deliberately excluded from the regression gate
+(``tools/collect_bench.py`` gates only the scale-free metrics).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_wallclock.py           # full
+    PYTHONPATH=src python benchmarks/bench_gateway_wallclock.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import tempfile
+from pathlib import Path
+
+from repro.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    run_differential,
+    run_open_loop,
+    synthetic_gemv_workload,
+    trace_workload,
+)
+from repro.gateway.differential import gateway_config_from_trace
+from repro.trace.arrivals import poisson_plan, trace_plan
+from repro.trace.schema import load_trace
+
+GOLDEN_TRACE = (
+    Path(__file__).resolve().parent.parent
+    / "tests"
+    / "traces"
+    / "serve_multitenant.jsonl"
+)
+
+NUM_WORKERS = 2
+
+#: (probe requests, poisson requests, trace requests)
+FULL_SETUP = (300, 10_000, 1_200)
+SMOKE_SETUP = (60, 300, 120)
+
+
+async def open_loop_study(
+    config: GatewayConfig, plan, workload, label: str
+) -> dict:
+    """One full gateway lifecycle: start, offer the plan, drain, verify."""
+    gateway = AsyncGateway(config)
+    async with gateway:
+        report = await run_open_loop(gateway, plan, workload)
+        await gateway.drain()
+        checks = gateway.verify_partition()
+    workers = report.snapshot["gateway"]["workers"]
+    print(
+        f"  {label:<14} {report.offered:>6} offered at "
+        f"{report.offered_rate_rps:7.1f} rps -> {report.throughput_rps:7.1f} "
+        f"completed/s, p50={report.latency_p50_s * 1e3:6.2f} ms "
+        f"p99={report.latency_p99_s * 1e3:6.2f} ms, util "
+        + ", ".join(
+            f"w{wid}={row['utilization']:.2f}" for wid, row in sorted(workers.items())
+        )
+        + f", partition={'ok' if all(checks.values()) else 'BROKEN'}"
+    )
+    row = report.to_dict()
+    row["partition_ok"] = bool(all(checks.values()))
+    return row
+
+
+async def run_studies(
+    probe_n: int, poisson_n: int, trace_n: int, cache_dir: str
+) -> dict:
+    trace = load_trace(GOLDEN_TRACE)
+
+    # Study 1: capacity probe — offered far above capacity, so the
+    # generator never sleeps and throughput is the pool's ceiling.
+    probe = await open_loop_study(
+        GatewayConfig(num_workers=NUM_WORKERS, cache_dir=cache_dir),
+        poisson_plan(probe_n, rate_rps=1e6, seed=9),
+        synthetic_gemv_workload(seed=9),
+        "capacity probe",
+    )
+    capacity_rps = probe["throughput_rps"]
+
+    # Study 2: the headline — open-loop Poisson at ~70% of capacity.
+    poisson = await open_loop_study(
+        GatewayConfig(num_workers=NUM_WORKERS, cache_dir=cache_dir),
+        poisson_plan(poisson_n, rate_rps=0.7 * capacity_rps, seed=9),
+        synthetic_gemv_workload(seed=9),
+        "poisson",
+    )
+
+    # Study 3: the recorded trace's own arrival pattern, amplified to
+    # ~50% of capacity, submissions replayed byte-for-byte.
+    base_rate = trace_plan(trace, num_requests=trace_n).mean_rate_rps
+    trace_study = await open_loop_study(
+        gateway_config_from_trace(trace, num_workers=NUM_WORKERS, cache_dir=cache_dir),
+        trace_plan(
+            trace,
+            num_requests=trace_n,
+            amplify=(0.5 * capacity_rps) / base_rate,
+            jitter_s=1e-3,
+            seed=9,
+        ),
+        trace_workload(trace),
+        "trace arrivals",
+    )
+    # The recording's failing submissions fail identically under load:
+    # the expected count is how often the plan cycles through them.
+    # (Recorded *rejections* are quota decisions — with the gateway's
+    # quotas off those submissions complete, so only 'failed' counts.)
+    failing = {
+        rid
+        for rid, response in trace.responses().items()
+        if response["status"] == "failed"
+    }
+    num_submissions = len(trace.submissions())
+    trace_study["expected_failed"] = sum(
+        1 for index in range(trace_study["offered"])
+        if (index % num_submissions) + 1 in failing
+    )
+    return {
+        "capacity_probe": probe,
+        "poisson_study": poisson,
+        "trace_study": trace_study,
+    }
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    probe_n, poisson_n, trace_n = SMOKE_SETUP if smoke else FULL_SETUP
+    print(
+        f"gateway wall-clock benchmark: {NUM_WORKERS} worker processes, "
+        f"{poisson_n} Poisson + {trace_n} trace-driven requests"
+    )
+    with tempfile.TemporaryDirectory(prefix="gateway-bench-cache-") as cache_dir:
+        studies = asyncio.run(run_studies(probe_n, poisson_n, trace_n, cache_dir))
+        print("differential (wall-clock vs VirtualClock on the golden trace):")
+        differential = run_differential(
+            load_trace(GOLDEN_TRACE), num_workers=NUM_WORKERS, cache_dir=cache_dir
+        )
+    print(f"  {differential.diff.summary()}")
+    poisson = studies["poisson_study"]
+    return {
+        "benchmark": "gateway_wallclock",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "num_workers": NUM_WORKERS,
+        "requests": poisson["offered"],
+        "capacity_rps": studies["capacity_probe"]["throughput_rps"],
+        "throughput_rps": poisson["throughput_rps"],
+        "latency_p50_s": poisson["latency_p50_s"],
+        "latency_p99_s": poisson["latency_p99_s"],
+        "served_fraction": min(
+            studies[name]["served_fraction"]
+            for name in ("capacity_probe", "poisson_study", "trace_study")
+        ),
+        "differential_identical": differential.identical,
+        "differential_requests": differential.num_requests,
+        "studies": studies,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR9.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    studies = payload["studies"]
+    for name in ("capacity_probe", "poisson_study", "trace_study"):
+        study = studies[name]
+        if study["served_fraction"] != 1.0:
+            failures.append(
+                f"{name}: only {study['served_fraction']:.3f} of offered "
+                "requests answered"
+            )
+        if study["rejected"]:
+            failures.append(f"{name}: {study['rejected']} rejections (quotas off)")
+        if not study["partition_ok"]:
+            failures.append(f"{name}: accounting partition not exact")
+    for name in ("capacity_probe", "poisson_study"):
+        if studies[name]["failed"]:
+            failures.append(f"{name}: {studies[name]['failed']} requests failed")
+    trace_study = studies["trace_study"]
+    if trace_study["failed"] != trace_study["expected_failed"]:
+        failures.append(
+            f"trace_study: {trace_study['failed']} failures, expected "
+            f"{trace_study['expected_failed']} (the recording's bad "
+            "submissions, cycled)"
+        )
+    if not payload["differential_identical"]:
+        failures.append("wall-clock vs VirtualClock differential is not identical")
+    if payload["latency_p99_s"] <= 0.0:
+        failures.append("poisson study measured no latency distribution")
+    assert not failures, "; ".join(failures)
+    print(
+        f"all gateway acceptance checks passed (p99 "
+        f"{payload['latency_p99_s'] * 1e3:.2f} ms at "
+        f"{payload['requests']} requests, differential bit-identical)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,8 @@ setup(
         "Reproduction of TDO-CIM (DATE 2020): transparent detection and "
         "offloading of compute-intensive kernels to a compute-in-memory "
         "accelerator, with an emulated hardware stack, multi-tenant "
-        "serving, a fault-tolerant fleet, and a record/replay trace layer"
+        "serving, a fault-tolerant fleet, a record/replay trace layer, "
+        "and a wall-clock process-pool serving gateway"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -29,6 +29,13 @@ from repro.compiler import (
 )
 from repro.codegen import OffloadExecutor, ExecutionReport
 from repro.fleet import FaultPlan, FleetConfig, FleetServer
+from repro.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    LoadReport,
+    run_differential,
+    run_open_loop,
+)
 from repro.ir import ENGINE_MODES, VectorizedEngine, make_engine
 from repro.serve import CimServer, ServerConfig, TenantQuota
 from repro.system import CimSystem, SystemConfig
@@ -41,9 +48,14 @@ from repro.trace import (
     load_trace,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
+    "AsyncGateway",
+    "GatewayConfig",
+    "LoadReport",
+    "run_differential",
+    "run_open_loop",
     "CompileOptions",
     "CompilationReport",
     "CompilationResult",

@@ -4,6 +4,8 @@ Subcommands::
 
     repro run gemm --dataset MEDIUM     # host-vs-CIM evaluation of a kernel
     repro serve --scenario fleet_faultstorm --record trace.jsonl
+    repro gateway --requests 1000       # wall-clock pool under open-loop load
+    repro gateway --diff trace.jsonl    # wall-clock vs VirtualClock, bit-exact
     repro bench serving --smoke         # run a benchmark (was PYTHONPATH=src
                                         # python benchmarks/bench_...)
     repro replay trace.jsonl --diff     # re-drive a recorded trace, diff it
@@ -41,6 +43,7 @@ BENCHMARKS = {
     "pipelines": "bench_ablation_pipeline.py",
     "serving": "bench_serving_throughput.py",
     "fleet": "bench_fleet_failover.py",
+    "gateway": "bench_gateway_wallclock.py",
 }
 
 #: Exit code a benchmark returns to signal "skipped: optional toolchain
@@ -133,6 +136,138 @@ def _print_trace_summary(trace: Trace) -> None:
             f"compensations={bill['compensations']} "
             f"partition={'ok' if bill['partition_ok'] else 'BROKEN'}"
         )
+
+
+# ----------------------------------------------------------------------
+# repro gateway
+# ----------------------------------------------------------------------
+def cmd_gateway(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.gateway.differential import run_differential
+
+    if args.diff:
+        trace = load_trace(args.diff)
+        result = run_differential(
+            trace, num_workers=args.workers, cache_dir=args.cache_dir
+        )
+        print(
+            f"differential: {result.num_requests} recorded requests through "
+            f"VirtualClock mode and a {args.workers}-worker wall-clock pool"
+        )
+        print(result.diff.summary())
+        return 0 if result.identical else 1
+    if args.arrivals == "trace" and not args.trace:
+        print(
+            "repro gateway: --arrivals trace needs --trace PATH",
+            file=sys.stderr,
+        )
+        return 2
+    return asyncio.run(_gateway_loadgen(args))
+
+
+async def _gateway_loadgen(args: argparse.Namespace) -> int:
+    """Open-loop load generation against a live wall-clock pool.
+
+    SIGINT drains gracefully: the first ^C closes admission, every
+    request already offered still completes, the pool drains (flushing
+    the authoritative bills) and the partial report is printed; exit
+    code 130 marks the interrupted run.
+    """
+    import asyncio
+    import signal
+
+    from repro.gateway.differential import gateway_config_from_trace
+    from repro.gateway.loadgen import (
+        run_open_loop,
+        synthetic_gemv_workload,
+        trace_workload,
+    )
+    from repro.gateway.server import AsyncGateway, GatewayConfig
+    from repro.trace.arrivals import poisson_plan, trace_plan
+
+    trace = load_trace(args.trace) if args.trace else None
+    if args.arrivals == "trace":
+        plan = trace_plan(
+            trace,
+            num_requests=args.requests,
+            amplify=args.amplify,
+            jitter_s=args.jitter,
+            seed=args.seed,
+        )
+    else:
+        plan = poisson_plan(args.requests, rate_rps=args.rate, seed=args.seed)
+    if trace is not None:
+        workload = trace_workload(trace)
+        config = gateway_config_from_trace(
+            trace, num_workers=args.workers, cache_dir=args.cache_dir
+        )
+    else:
+        workload = synthetic_gemv_workload(num_tenants=args.tenants, seed=args.seed)
+        config = GatewayConfig(num_workers=args.workers, cache_dir=args.cache_dir)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    loop.add_signal_handler(signal.SIGINT, stop.set)
+    try:
+        gateway = AsyncGateway(config)
+        async with gateway:
+            print(
+                f"[repro gateway] {len(plan)} {plan.kind} arrivals "
+                f"(~{plan.mean_rate_rps:.1f} rps) -> {args.workers} worker(s)",
+                flush=True,
+            )
+            report = await run_open_loop(
+                gateway,
+                plan,
+                workload,
+                progress=lambda done, total: print(
+                    f"[repro gateway] {done}/{total} offered", flush=True
+                ),
+                stop=stop,
+            )
+            await gateway.drain()
+            checks = gateway.verify_partition()
+    finally:
+        loop.remove_signal_handler(signal.SIGINT)
+
+    if stop.is_set():
+        print(
+            "\n[repro gateway] interrupted: admission closed, in-flight "
+            "requests served, bills flushed",
+            flush=True,
+        )
+    print(f"offered            {report.offered} ({report.plan_kind} arrivals)")
+    print(
+        f"responses          {report.completed} completed, "
+        f"{report.failed} failed, {report.rejected} rejected"
+    )
+    print(f"duration           {report.duration_s:.3f} s wall-clock")
+    print(f"throughput         {report.throughput_rps:.1f} completed/s")
+    print(
+        f"latency            p50={report.latency_p50_s * 1e3:.2f} ms  "
+        f"p99={report.latency_p99_s * 1e3:.2f} ms  "
+        f"max={report.latency_max_s * 1e3:.2f} ms"
+    )
+    workers = report.snapshot["gateway"]["workers"]
+    utilization = ", ".join(
+        f"w{worker_id}={stats['utilization']:.2f}"
+        for worker_id, stats in sorted(workers.items())
+    )
+    print(f"utilization        {utilization}")
+    print(
+        "accounting         "
+        + ("partition ok" if all(checks.values()) else "PARTITION BROKEN")
+    )
+    if args.output:
+        payload = report.to_dict()
+        payload["partition_ok"] = all(checks.values())
+        payload["interrupted"] = stop.is_set()
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"\nload report -> {args.output}")
+    if not all(checks.values()):
+        return 1
+    return 130 if stop.is_set() else 0
 
 
 # ----------------------------------------------------------------------
@@ -245,6 +380,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=cmd_serve)
 
+    gateway = sub.add_parser(
+        "gateway",
+        help="wall-clock process-pool gateway: open-loop load or differential",
+    )
+    gateway.add_argument(
+        "--diff",
+        metavar="TRACE",
+        help="differential gate: drive TRACE through VirtualClock mode and "
+        "the wall-clock pool, require bit-identical responses and bills",
+    )
+    gateway.add_argument(
+        "--workers", type=int, default=2, help="worker processes in the pool"
+    )
+    gateway.add_argument(
+        "--requests", type=int, default=1000, help="requests to offer"
+    )
+    gateway.add_argument(
+        "--arrivals",
+        choices=("poisson", "trace"),
+        default="poisson",
+        help="arrival process (trace arrivals need --trace)",
+    )
+    gateway.add_argument(
+        "--rate", type=float, default=200.0, help="Poisson offered rate (req/s)"
+    )
+    gateway.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="recorded trace: supplies the workload bodies (and the "
+        "arrival pattern with --arrivals trace)",
+    )
+    gateway.add_argument(
+        "--amplify",
+        type=float,
+        default=1.0,
+        help="time-compress trace arrivals by this factor",
+    )
+    gateway.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="uniform +/- jitter (s) on resampled trace arrivals",
+    )
+    gateway.add_argument(
+        "--tenants", type=int, default=4, help="synthetic workload tenants"
+    )
+    gateway.add_argument("--seed", type=int, default=0)
+    gateway.add_argument(
+        "--cache-dir", help="shared on-disk compile-cache directory"
+    )
+    gateway.add_argument(
+        "--output", metavar="PATH", help="write the load report JSON here"
+    )
+    gateway.set_defaults(func=cmd_gateway)
+
     bench = sub.add_parser("bench", help="run a benchmark from benchmarks/")
     bench.add_argument(
         "name", nargs="?", help=f"one of {', '.join(BENCHMARKS)}, or 'all'"
@@ -299,6 +489,12 @@ def main(argv: Optional[list[str]] = None) -> int:
             parser.error(f"unrecognized arguments: {' '.join(unknown)}")
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # A graceful SIGINT exit for the simulated subcommands (the
+        # gateway handles SIGINT itself, draining the pool first): no
+        # traceback, the conventional 128+SIGINT exit code.
+        print("\nrepro: interrupted", file=sys.stderr)
+        return 130
     except TraceFormatError as exc:
         print(f"repro: bad trace: {exc}", file=sys.stderr)
         return 2

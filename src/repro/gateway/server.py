@@ -1,0 +1,641 @@
+"""The wall-clock serving gateway: asyncio front-end, process-pool back-end.
+
+:class:`AsyncGateway` is the repo's first *real-concurrency* serving mode.
+The simulated tiers (:class:`~repro.serve.server.CimServer`,
+:class:`~repro.fleet.server.FleetServer`) advance a ``VirtualClock``
+through a deterministic event loop; the gateway instead accepts typed
+requests on an ``asyncio`` loop under a :class:`~repro.serve.clock.WallClock`
+and dispatches them to a pool of worker *processes*
+(:mod:`repro.gateway.worker`), each owning a private emulated device and
+sharing one flock-guarded on-disk
+:class:`~repro.compiler.cache.KernelCompileCache`.
+
+Pool architecture (deliberately not ``concurrent.futures`` — a
+``ProcessPoolExecutor`` declares the whole pool broken when one worker
+dies, and surviving a worker death is this subsystem's headline fault
+model):
+
+* one request ``multiprocessing.Queue`` per worker plus one shared
+  response queue;
+* a collector thread blocks on the response queue and trampolines every
+  frame onto the asyncio loop (``call_soon_threadsafe``), so all gateway
+  state is mutated from the loop thread only;
+* an async monitor task polls worker liveness; a dead worker's in-flight
+  request is compensated (:class:`~repro.serve.accounting.FaultCompensation`)
+  and retried on a surviving worker with its fault marker stripped —
+  exactly-once billing, at-least-once execution;
+* at most one request is in flight per worker, so a dead worker strands
+  at most one request and its queue is empty by construction.
+
+Accounting mirrors the simulated tiers: every response carries the
+measured per-request usage, which the gateway records into an
+:class:`~repro.serve.accounting.AccountingLedger` keyed by worker id
+(= device id), and :meth:`AsyncGateway.verify_partition` reconciles the
+bills against each worker's physical accelerator totals — the drain-time
+authoritative totals for workers that survived, the last cumulative
+snapshot a worker shipped for workers that died (its doomed attempt
+shipped neither usage nor snapshot, so the partition stays exact).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import queue as queue_mod
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.compiler.options import CompileOptions
+from repro.gateway.wire import GatewayRequest, GatewayResponse
+from repro.gateway.worker import (
+    DRAIN_FRAME,
+    DRAINED_FRAME,
+    REQUEST_FRAME,
+    RESPONSE_FRAME,
+    worker_main,
+)
+from repro.serve.accounting import AccountingLedger, FaultCompensation
+from repro.serve.clock import WallClock
+from repro.serve.metrics import MetricsRegistry
+from repro.trace.schema import encode_compile_options
+
+#: Physical-totals keys shipped by workers (see worker._PhysicalTotals).
+_PHYSICAL_ZERO = {
+    "energy_j": 0.0,
+    "latency_s": 0.0,
+    "cell_writes": 0,
+    "write_ops": 0,
+    "gemv_count": 0,
+    "macs": 0,
+    "dma_bytes": 0,
+}
+
+
+class GatewayError(RuntimeError):
+    """Misuse of the gateway lifecycle (submit before start, after drain,
+    or with no surviving workers)."""
+
+
+def partition_checks(
+    ledger: AccountingLedger, totals_by_worker: Mapping[int, Mapping[str, float]]
+) -> dict[str, bool]:
+    """Exactly-once reconciliation of *ledger* against per-worker physical
+    accelerator totals (the :class:`~repro.gateway.worker._PhysicalTotals`
+    snapshot shape).  Integer counters compare by ``==``; energies via
+    order-independent ``fsum`` to float precision — the same bar as
+    :meth:`~repro.serve.accounting.AccountingLedger.verify_fleet_partition`."""
+    checks: dict[str, bool] = {}
+    for worker_id in sorted(totals_by_worker):
+        totals = totals_by_worker[worker_id]
+        usages = ledger.device_usages(worker_id)
+        comps = ledger.device_compensations(worker_id)
+        prefix = f"worker{worker_id}"
+        checks[f"{prefix}.cell_writes"] = (
+            sum(u.wear_bytes for u in usages) + sum(c.wear_bytes for c in comps)
+            == totals["cell_writes"]
+        )
+        checks[f"{prefix}.write_ops"] = (
+            sum(u.crossbar_write_ops for u in usages)
+            + sum(c.crossbar_write_ops for c in comps)
+            == totals["write_ops"]
+        )
+        checks[f"{prefix}.gemv_count"] = (
+            sum(u.gemv_count for u in usages)
+            + sum(c.gemv_count for c in comps)
+            == totals["gemv_count"]
+        )
+        checks[f"{prefix}.macs"] = (
+            sum(u.macs for u in usages) + sum(c.macs for c in comps)
+            == totals["macs"]
+        )
+        checks[f"{prefix}.energy"] = math.isclose(
+            math.fsum(
+                [u.accelerator_energy_j for u in usages]
+                + [c.accelerator_energy_j for c in comps]
+            ),
+            totals["energy_j"],
+            rel_tol=1e-9,
+            abs_tol=1e-18,
+        )
+    known = set(totals_by_worker)
+    checks["no_orphan_records"] = all(
+        u.device_id in known for u in ledger.all_usages()
+    ) and all(c.device_id in known for c in ledger.compensations)
+    checks["pool_wear_total"] = ledger.device_wear_bytes == sum(
+        totals["cell_writes"] for totals in totals_by_worker.values()
+    )
+    checks["pool_energy_total"] = math.isclose(
+        ledger.device_accelerator_energy_j,
+        math.fsum(totals["energy_j"] for totals in totals_by_worker.values()),
+        rel_tol=1e-9,
+        abs_tol=1e-18,
+    )
+    return checks
+
+
+@dataclass
+class GatewayConfig:
+    """Tuning knobs of one :class:`AsyncGateway`."""
+
+    #: Worker processes (each one private emulated device).
+    num_workers: int = 2
+    #: CIM tiles inside each worker's device.
+    num_tiles: int = 1
+    #: Crossbar geometry/mode of the worker devices (None = Table I).
+    crossbar_rows: Optional[int] = None
+    crossbar_cols: Optional[int] = None
+    crossbar_mode: str = "ideal"
+    #: Compiler options of the worker compilers.
+    compile_options: CompileOptions = field(default_factory=CompileOptions)
+    #: Shared on-disk compile-cache directory (None = per-worker memory
+    #: caches only; with a directory, workers share compilations).
+    cache_dir: Optional[str] = None
+    #: Admission backpressure: reject submissions once this many requests
+    #: are queued (None = unbounded, the differential's configuration —
+    #: rejections are load-dependent, so the diff runs without them).
+    max_pending: Optional[int] = None
+    #: Execution attempts per request across worker deaths.
+    max_attempts: int = 3
+    #: ``multiprocessing`` start method (None = fork where available).
+    start_method: Optional[str] = None
+    #: Scrub crossbar residency between requests inside each worker.
+    scrub_leases: bool = True
+
+    def worker_wire(self) -> dict:
+        """The worker-process config as a plain picklable dict."""
+        return {
+            "num_tiles": self.num_tiles,
+            "crossbar_rows": self.crossbar_rows,
+            "crossbar_cols": self.crossbar_cols,
+            "crossbar_mode": self.crossbar_mode,
+            "compile_options": encode_compile_options(self.compile_options),
+            "cache_dir": self.cache_dir,
+            "scrub_leases": self.scrub_leases,
+        }
+
+
+@dataclass
+class _Flight:
+    """One submitted request in flight through the gateway."""
+
+    request: GatewayRequest
+    future: asyncio.Future
+    submitted_s: float
+    dispatched_s: Optional[float] = None
+    worker_id: Optional[int] = None
+
+
+class _Worker:
+    """Gateway-side bookkeeping of one pool worker."""
+
+    def __init__(self, worker_id: int, process, request_queue):
+        self.worker_id = worker_id
+        self.process = process
+        self.request_queue = request_queue
+        self.dead = False
+        self.served = 0
+        self.busy_s = 0.0
+        #: Last cumulative physical snapshot this worker shipped (the
+        #: accounting currency that survives its death).
+        self.last_physical: dict[str, float] = dict(_PHYSICAL_ZERO)
+        #: Authoritative totals shipped on graceful drain (fsum-exact).
+        self.drained_totals: Optional[dict[str, float]] = None
+        self.drained_event: Optional[asyncio.Event] = None
+
+
+class AsyncGateway:
+    """Wall-clock serving gateway over a pool of device workers."""
+
+    def __init__(self, config: Optional[GatewayConfig] = None):
+        self.config = config or GatewayConfig()
+        if self.config.num_workers < 1:
+            raise GatewayError("gateway needs at least one worker")
+        if self.config.max_attempts < 1:
+            raise GatewayError("max_attempts must be >= 1")
+        self.clock = WallClock()
+        self.metrics = MetricsRegistry()
+        self.ledger = AccountingLedger(crossbar_size_bytes=0.0)
+        self.dead_letters: list[str] = []
+        self._workers: list[_Worker] = []
+        self._idle: deque[int] = deque()
+        self._pending: deque[_Flight] = deque()
+        self._inflight: dict[int, _Flight] = {}
+        self._seq = 0
+        self._bill_counter = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._response_queue = None
+        self._collector: Optional[threading.Thread] = None
+        self._collector_stop = threading.Event()
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._started = False
+        self._draining = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "AsyncGateway":
+        """Spawn the worker pool, the collector thread and the monitor."""
+        if self._started:
+            raise GatewayError("gateway already started")
+        import multiprocessing
+
+        method = self.config.start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        ctx = multiprocessing.get_context(method)
+        self._loop = asyncio.get_running_loop()
+        self._response_queue = ctx.Queue()
+        wire = self.config.worker_wire()
+        # Workers fork *before* the collector thread exists (forking a
+        # multi-threaded parent is where fork goes wrong).
+        for worker_id in range(self.config.num_workers):
+            request_queue = ctx.Queue()
+            process = ctx.Process(
+                target=worker_main,
+                args=(worker_id, wire, request_queue, self._response_queue),
+                daemon=True,
+                name=f"gateway-worker-{worker_id}",
+            )
+            process.start()
+            worker = _Worker(worker_id, process, request_queue)
+            worker.drained_event = asyncio.Event()
+            self._workers.append(worker)
+            self._idle.append(worker_id)
+            self.metrics.observe_device_state(worker_id, "up")
+        self._collector = threading.Thread(
+            target=self._collect, name="gateway-collector", daemon=True
+        )
+        self._collector.start()
+        self._monitor_task = self._loop.create_task(self._monitor())
+        self._started = True
+        return self
+
+    async def __aenter__(self) -> "AsyncGateway":
+        return await self.start()
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        if not self._closed:
+            await self.drain()
+
+    @property
+    def alive_workers(self) -> list[int]:
+        return [w.worker_id for w in self._workers if not w.dead]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_nowait(
+        self,
+        tenant: str,
+        source: str,
+        params: Optional[Mapping[str, float]] = None,
+        arrays: Optional[Mapping[str, np.ndarray]] = None,
+        fault: Optional[str] = None,
+    ) -> "asyncio.Future[GatewayResponse]":
+        """Queue one request; returns a future resolving to its
+        :class:`~repro.gateway.wire.GatewayResponse`.  Never raises for
+        per-request problems — backpressure resolves the future with a
+        ``rejected`` response, execution problems with a ``failed`` one."""
+        if not self._started:
+            raise GatewayError("gateway not started")
+        if self._draining or self._closed:
+            raise GatewayError("gateway is draining; admission is closed")
+        self._seq += 1
+        request = GatewayRequest(
+            request_id=self._seq,
+            tenant=tenant,
+            source=source,
+            params=dict(params or {}),
+            arrays={name: np.asarray(value) for name, value in (arrays or {}).items()},
+            fault=fault,
+        )
+        future = self._loop.create_future()
+        self.metrics.observe_submit()
+        now_s = self.clock.now_s
+        if (
+            self.config.max_pending is not None
+            and len(self._pending) >= self.config.max_pending
+        ):
+            self.metrics.observe_admission(False)
+            self.ledger.record_rejection(tenant)
+            response = GatewayResponse(
+                request_id=request.request_id,
+                tenant=tenant,
+                status="rejected",
+                worker_id=-1,
+                reason=(
+                    f"gateway backpressure: {len(self._pending)} requests "
+                    f"pending (max_pending={self.config.max_pending})"
+                ),
+            )
+            response.submitted_s = response.completed_s = now_s
+            future.set_result(response)
+            return future
+        self.metrics.observe_admission(True)
+        self._pending.append(_Flight(request, future, submitted_s=now_s))
+        self._dispatch()
+        return future
+
+    async def submit(self, *args, **kwargs) -> GatewayResponse:
+        return await self.submit_nowait(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Dispatch / collection (loop thread only)
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        while self._pending and self._idle:
+            worker_id = self._idle.popleft()
+            worker = self._workers[worker_id]
+            if worker.dead:
+                continue
+            flight = self._pending.popleft()
+            flight.worker_id = worker_id
+            flight.dispatched_s = self.clock.now_s
+            self._inflight[worker_id] = flight
+            worker.request_queue.put((REQUEST_FRAME, flight.request.to_json()))
+
+    def _collect(self) -> None:
+        """Collector thread: response queue -> asyncio loop."""
+        while not self._collector_stop.is_set():
+            try:
+                frame = self._response_queue.get(timeout=0.1)
+            except queue_mod.Empty:
+                continue
+            except (EOFError, OSError):
+                break
+            self._loop.call_soon_threadsafe(self._on_frame, frame)
+
+    def _on_frame(self, frame: tuple) -> None:
+        kind = frame[0]
+        if kind == RESPONSE_FRAME:
+            self._on_response(frame[1], frame[2])
+        elif kind == DRAINED_FRAME:
+            worker = self._workers[frame[1]]
+            worker.drained_totals = dict(frame[2])
+            worker.drained_event.set()
+        else:  # dead letter: an undecodable frame with no request to answer
+            self.dead_letters.append(str(frame[2]))
+            worker = self._workers[frame[1]]
+            if not worker.dead:
+                self._idle.append(frame[1])
+                self._dispatch()
+
+    def _on_response(self, worker_id: int, payload: str) -> None:
+        response = GatewayResponse.from_json(payload)
+        flight = self._inflight.pop(worker_id, None)
+        worker = self._workers[worker_id]
+        worker.last_physical = dict(response.physical)
+        if flight is None:
+            return  # stale frame (should not happen: one in flight per worker)
+        now_s = self.clock.now_s
+        response.submitted_s = flight.submitted_s
+        response.dispatched_s = flight.dispatched_s
+        response.completed_s = now_s
+        worker.served += 1
+        worker.busy_s += now_s - flight.dispatched_s
+        if not worker.dead:
+            self._idle.append(worker_id)
+        self.metrics.observe_compile(response.compile_hits, response.compile_misses)
+        if response.status == "completed":
+            self.metrics.observe_completion(
+                response.tenant,
+                latency_s=now_s - flight.submitted_s,
+                queueing_delay_s=flight.dispatched_s - flight.submitted_s,
+            )
+            if flight.request.attempt > 1:
+                self.metrics.observe_recovery()
+        else:
+            self.metrics.observe_failure()
+        self._record_billing(flight, response, now_s)
+        if not flight.future.done():
+            flight.future.set_result(response)
+        self._dispatch()
+
+    def _record_billing(
+        self, flight: _Flight, response: GatewayResponse, now_s: float
+    ) -> None:
+        """Fold the worker-measured usage into the gateway ledger, keyed
+        by worker id (= device id): the wall-clock analogue of the
+        simulated server's per-tenant accounting."""
+        from repro.serve.accounting import RequestUsage
+
+        for energy_j in response.housekeeping_energy_j:
+            self.ledger.record_housekeeping(energy_j, device_id=response.worker_id)
+        if not response.usage:
+            return
+        self._bill_counter += 1
+        self.ledger.record(
+            RequestUsage(
+                request_id=response.request_id,
+                tenant=response.tenant,
+                batch_id=self._bill_counter,
+                arrival_s=flight.submitted_s,
+                completed_s=now_s,
+                service_s=response.usage["service_s"],
+                latency_s=now_s - flight.submitted_s,
+                host_energy_j=response.usage["host_energy_j"],
+                offload_energy_j=response.usage["offload_energy_j"],
+                accelerator_energy_j=response.usage["accelerator_energy_j"],
+                crossbar_cell_writes=int(response.usage["crossbar_cell_writes"]),
+                crossbar_write_ops=int(response.usage["crossbar_write_ops"]),
+                gemv_count=int(response.usage["gemv_count"]),
+                macs=int(response.usage["macs"]),
+                dma_bytes=int(response.usage["dma_bytes"]),
+                device_id=response.worker_id,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Worker-crash recovery
+    # ------------------------------------------------------------------
+    async def _monitor(self) -> None:
+        """Poll worker liveness; recover in-flight work from the dead."""
+        while not self._closed:
+            for worker in self._workers:
+                if not worker.dead and not worker.process.is_alive():
+                    self._on_worker_death(worker)
+            await asyncio.sleep(0.05)
+
+    def _on_worker_death(self, worker: _Worker) -> None:
+        worker.dead = True
+        worker_id = worker.worker_id
+        self.metrics.observe_device_state(worker_id, "down")
+        try:
+            self._idle.remove(worker_id)
+        except ValueError:
+            pass
+        flight = self._inflight.pop(worker_id, None)
+        self.metrics.observe_fault("worker-crash")
+        if flight is not None:
+            # The attempt's physical work (if any) died with the process:
+            # its device state is gone, and it shipped neither a usage
+            # record nor a physical snapshot, so the partition stays exact.
+            # The compensation record carries zero measured deltas and
+            # exists as the audit trail of the lost attempt.
+            self.ledger.record_compensation(
+                FaultCompensation(
+                    request_id=flight.request.request_id,
+                    tenant=flight.request.tenant,
+                    device_id=worker_id,
+                    batch_id=0,
+                    at_s=self.clock.now_s,
+                    reason=(
+                        f"worker {worker_id} died serving request "
+                        f"{flight.request.request_id} "
+                        f"(exitcode={worker.process.exitcode})"
+                    ),
+                    op="worker-crash",
+                    offload_energy_j=0.0,
+                    accelerator_energy_j=0.0,
+                    crossbar_cell_writes=0,
+                    crossbar_write_ops=0,
+                    gemv_count=0,
+                    macs=0,
+                    dma_bytes=0,
+                )
+            )
+            self._retry(flight)
+        if not self.alive_workers:
+            self._fail_all("no surviving gateway workers")
+
+    def _retry(self, flight: _Flight) -> None:
+        request = flight.request
+        if request.attempt >= self.config.max_attempts:
+            self.metrics.observe_unrecovered()
+            self._resolve_failed(
+                flight,
+                f"request {request.request_id}: {request.attempt} attempts "
+                "exhausted across worker deaths",
+            )
+            return
+        request.attempt += 1
+        # Strip the fault marker: one marker means exactly one death, and
+        # the retry must run clean on a surviving worker.
+        request.fault = None
+        self.metrics.observe_retry()
+        self._pending.appendleft(flight)
+        self._dispatch()
+
+    def _resolve_failed(self, flight: _Flight, reason: str) -> None:
+        if flight.future.done():
+            return
+        response = GatewayResponse(
+            request_id=flight.request.request_id,
+            tenant=flight.request.tenant,
+            status="failed",
+            worker_id=flight.worker_id if flight.worker_id is not None else -1,
+            attempt=flight.request.attempt,
+            reason=reason,
+        )
+        response.submitted_s = flight.submitted_s
+        response.dispatched_s = flight.dispatched_s
+        response.completed_s = self.clock.now_s
+        self.metrics.observe_failure()
+        flight.future.set_result(response)
+
+    def _fail_all(self, reason: str) -> None:
+        for flight in list(self._pending):
+            self._resolve_failed(flight, reason)
+        self._pending.clear()
+        for flight in list(self._inflight.values()):
+            self._resolve_failed(flight, reason)
+        self._inflight.clear()
+
+    # ------------------------------------------------------------------
+    # Drain / teardown
+    # ------------------------------------------------------------------
+    async def drain(self) -> dict:
+        """Graceful shutdown: stop admission, serve everything in flight,
+        collect each worker's authoritative totals, tear the pool down.
+        Returns the final metrics snapshot.  Idempotent."""
+        if self._closed:
+            return self.snapshot()
+        self._draining = True
+        while self._pending or self._inflight:
+            futures = [f.future for f in self._pending] + [
+                f.future for f in self._inflight.values()
+            ]
+            await asyncio.gather(*futures, return_exceptions=True)
+        for worker in self._workers:
+            if not worker.dead:
+                worker.request_queue.put((DRAIN_FRAME,))
+        for worker in self._workers:
+            if not worker.dead:
+                try:
+                    await asyncio.wait_for(worker.drained_event.wait(), timeout=30.0)
+                except asyncio.TimeoutError:
+                    pass
+        self._closed = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+        self._collector_stop.set()
+        if self._collector is not None:
+            self._collector.join(timeout=5.0)
+        for worker in self._workers:
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+            if not worker.dead:
+                self.metrics.observe_device_state(worker.worker_id, "drained")
+        return self.snapshot()
+
+    # ------------------------------------------------------------------
+    # Accounting / metrics
+    # ------------------------------------------------------------------
+    def verify_partition(self) -> dict[str, bool]:
+        """Exactly-once reconciliation across the pool: on every worker,
+        billed tenant work must equal that worker's physical accelerator
+        totals — the fsum-exact drain totals for survivors, the last
+        shipped cumulative snapshot for the dead (whose doomed attempt
+        shipped no usage).  Mirrors
+        :meth:`~repro.serve.accounting.AccountingLedger.verify_fleet_partition`."""
+        totals_by_worker = {
+            worker.worker_id: (
+                worker.drained_totals
+                if worker.drained_totals is not None
+                else worker.last_physical
+            )
+            for worker in self._workers
+        }
+        return partition_checks(self.ledger, totals_by_worker)
+
+    def snapshot(self) -> dict:
+        """MetricsRegistry-style snapshot plus the gateway's own section:
+        per-worker utilization (busy wall time over elapsed wall time),
+        served counts, liveness, and pool-wide throughput."""
+        elapsed_s = self.clock.now_s
+        snap = self.metrics.snapshot(
+            {"pending": len(self._pending), "inflight": len(self._inflight)}
+        )
+        workers = {}
+        for worker in self._workers:
+            workers[str(worker.worker_id)] = {
+                "alive": not worker.dead,
+                "served": worker.served,
+                "busy_s": worker.busy_s,
+                "utilization": worker.busy_s / elapsed_s if elapsed_s > 0 else 0.0,
+            }
+        completed = self.metrics.completed
+        snap["gateway"] = {
+            "elapsed_s": elapsed_s,
+            "num_workers": self.config.num_workers,
+            "alive_workers": len(self.alive_workers),
+            "throughput_rps": completed / elapsed_s if elapsed_s > 0 else 0.0,
+            "workers": workers,
+            "dead_letters": len(self.dead_letters),
+        }
+        return snap

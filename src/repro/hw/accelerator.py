@@ -319,6 +319,12 @@ class CIMAccelerator:
         self.energy.reset()
         self.counters.reset()
         self.timeline.clear()
+        # The DMA and tile accumulators feed per-run deltas in _on_start;
+        # left unreset they grow without bound and the float deltas round
+        # differently depending on how much history the base carries.
+        self.dma.reset_stats()
+        self.tile.energy.reset()
+        self.tile.counters.reset()
         # A fresh measurement starts from a cold crossbar: forgetting the
         # resident operand keeps repeated identical runs reproducible.
         self.micro_engine.invalidate_residency()

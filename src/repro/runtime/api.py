@@ -136,6 +136,24 @@ class CimRuntime:
         for buffer in list(self._buffers.values()):
             self.cim_free(buffer)
 
+    def reset_handle_counter(self) -> None:
+        """Restart buffer-handle numbering from 1.
+
+        Only legal with no live buffers (handles must stay unambiguous).
+        The serving tiers use this between requests for measurement
+        isolation: with the counter reset, the handles a request's
+        execution sees — including the ones quoted in its error messages —
+        are a pure function of the request, not of how much the session
+        served before it.
+        """
+        self._require_init()
+        if self._buffers:
+            raise CimRuntimeError(
+                f"cannot reset handle numbering with {len(self._buffers)} "
+                "live buffer(s)"
+            )
+        self._last_issued_handle = 0
+
     @property
     def live_buffers(self) -> int:
         return len(self._buffers)

@@ -23,7 +23,7 @@ from repro.serve.batcher import (
     extract_fused_gemv_plan,
     stationary_operand_arrays,
 )
-from repro.serve.clock import VirtualClock
+from repro.serve.clock import Clock, VirtualClock, WallClock
 from repro.serve.dispatch import FaultedRequest, LeaseExecutor
 from repro.serve.errors import (
     AdmissionError,
@@ -39,6 +39,8 @@ from repro.serve.server import CimServer, ServerConfig
 
 __all__ = [
     "AccountingLedger",
+    "Clock",
+    "WallClock",
     "AdmissionController",
     "AdmissionError",
     "CimServer",

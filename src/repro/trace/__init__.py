@@ -10,6 +10,7 @@ the golden-fixture workflow, and :mod:`repro.cli` for the ``repro``
 command-line entrypoints.
 """
 
+from repro.trace.arrivals import ArrivalPlan, poisson_plan, trace_plan
 from repro.trace.recorder import TraceRecorder
 from repro.trace.replayer import (
     DIFF_SECTIONS,
@@ -38,6 +39,7 @@ __all__ = [
     "SCENARIOS",
     "SCHEMA_VERSION",
     "TRACE_KINDS",
+    "ArrivalPlan",
     "ReplayResult",
     "Trace",
     "TraceDiff",
@@ -50,6 +52,8 @@ __all__ = [
     "encode_array",
     "load_trace",
     "loads_trace",
+    "poisson_plan",
     "record_fleet_faultstorm",
     "record_serve_multitenant",
+    "trace_plan",
 ]

@@ -1,0 +1,171 @@
+"""Tests for arrival plans and the open-loop load generator (PR 9).
+
+Arrival plans are pure data (seeded, deterministic, validated); the
+open-loop generator is exercised against a real two-process pool at a
+small request count — these are wall-clock tests, kept short.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.gateway import (
+    AsyncGateway,
+    GatewayConfig,
+    run_open_loop,
+    synthetic_gemv_workload,
+    trace_workload,
+)
+from repro.trace.arrivals import ArrivalPlan, poisson_plan, trace_plan
+from repro.trace.schema import load_trace
+
+GOLDEN = "tests/traces/serve_multitenant.jsonl"
+
+
+class TestArrivalPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ArrivalPlan(kind="poisson", times_s=())
+        with pytest.raises(ValueError, match="negative"):
+            ArrivalPlan(kind="poisson", times_s=(-0.1, 0.0))
+        with pytest.raises(ValueError, match="sorted"):
+            ArrivalPlan(kind="poisson", times_s=(1.0, 0.5))
+
+    def test_rate_and_duration(self):
+        plan = ArrivalPlan(kind="poisson", times_s=(0.0, 1.0, 2.0))
+        assert len(plan) == 3
+        assert plan.duration_s == 2.0
+        # (n - 1) arrivals over the span: 2 inter-arrival gaps in 2 s.
+        assert plan.mean_rate_rps == pytest.approx(1.0)
+
+
+class TestPoissonPlan:
+    def test_deterministic_per_seed(self):
+        a = poisson_plan(100, rate_rps=50.0, seed=4)
+        b = poisson_plan(100, rate_rps=50.0, seed=4)
+        c = poisson_plan(100, rate_rps=50.0, seed=5)
+        assert a.times_s == b.times_s
+        assert a.times_s != c.times_s
+
+    def test_shape(self):
+        plan = poisson_plan(500, rate_rps=100.0, seed=0)
+        assert len(plan) == 500
+        assert plan.kind == "poisson"
+        assert plan.times_s[0] == 0.0
+        assert list(plan.times_s) == sorted(plan.times_s)
+        # Mean inter-arrival ~ 1/rate (law of large numbers, loose bound).
+        assert plan.mean_rate_rps == pytest.approx(100.0, rel=0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_plan(0, rate_rps=10.0)
+        with pytest.raises(ValueError):
+            poisson_plan(10, rate_rps=0.0)
+
+
+class TestTracePlan:
+    def test_follows_the_recorded_pattern(self):
+        trace = load_trace(GOLDEN)
+        plan = trace_plan(trace)
+        assert plan.kind == "trace"
+        assert len(plan) == len(trace.submissions())
+        assert plan.times_s[0] == 0.0
+
+    def test_tiling_extends_the_pattern(self):
+        trace = load_trace(GOLDEN)
+        base = trace_plan(trace)
+        tiled = trace_plan(trace, num_requests=3 * len(base) + 1)
+        assert len(tiled) == 3 * len(base) + 1
+        assert list(tiled.times_s) == sorted(tiled.times_s)
+
+    def test_amplify_compresses_time(self):
+        trace = load_trace(GOLDEN)
+        slow = trace_plan(trace, amplify=1.0)
+        fast = trace_plan(trace, amplify=10.0)
+        assert fast.duration_s == pytest.approx(slow.duration_s / 10.0)
+
+    def test_jitter_is_seeded_and_keeps_order(self):
+        trace = load_trace(GOLDEN)
+        a = trace_plan(trace, jitter_s=1e-3, seed=1)
+        b = trace_plan(trace, jitter_s=1e-3, seed=1)
+        c = trace_plan(trace, jitter_s=1e-3, seed=2)
+        assert a.times_s == b.times_s
+        assert a.times_s != c.times_s
+        assert list(a.times_s) == sorted(a.times_s)
+        assert min(a.times_s) >= 0.0
+
+
+class TestWorkloads:
+    def test_synthetic_cycles_tenants_deterministically(self):
+        workload = synthetic_gemv_workload(num_tenants=3, seed=7)
+        again = synthetic_gemv_workload(num_tenants=3, seed=7)
+        assert workload(0).tenant == "tenant-0"
+        assert workload(4).tenant == "tenant-1"
+        assert (
+            workload(2).arrays["A"].tobytes() == again(2).arrays["A"].tobytes()
+        )
+        # Integer-valued float32 operands: exact on any machine.
+        for name, value in workload(0).arrays.items():
+            assert np.array_equal(value, np.round(value)), name
+
+    def test_trace_workload_replays_submission_bytes(self):
+        trace = load_trace(GOLDEN)
+        workload = trace_workload(trace)
+        submissions = trace.submissions()
+        first = workload(0)
+        assert first.tenant == submissions[0]["tenant"]
+        assert first.source == submissions[0]["source"]
+        # Cycles past the end of the recording.
+        wrapped = workload(len(submissions))
+        assert wrapped.tenant == submissions[0]["tenant"]
+        assert (
+            wrapped.arrays["A"].tobytes() == first.arrays["A"].tobytes()
+            if "A" in first.arrays
+            else True
+        )
+
+
+class TestOpenLoop:
+    def test_small_open_loop_run(self):
+        async def scenario():
+            async with AsyncGateway(GatewayConfig(num_workers=2)) as gateway:
+                report = await run_open_loop(
+                    gateway,
+                    poisson_plan(24, rate_rps=500.0, seed=0),
+                    synthetic_gemv_workload(seed=0),
+                )
+                await gateway.drain()
+                return report, gateway.verify_partition()
+
+        report, checks = asyncio.run(scenario())
+        assert report.offered == 24
+        assert report.completed == 24
+        assert report.failed == 0 and report.rejected == 0
+        assert report.served_fraction == 1.0
+        assert report.duration_s > 0.0
+        assert 0.0 < report.latency_p50_s <= report.latency_p99_s
+        assert report.latency_p99_s <= report.latency_max_s
+        assert all(checks.values()), checks
+        workers = report.snapshot["gateway"]["workers"]
+        assert len(workers) == 2
+        assert sum(row["served"] for row in workers.values()) == 24
+
+    def test_stop_event_closes_admission(self):
+        async def scenario():
+            stop = asyncio.Event()
+            stop.set()
+            async with AsyncGateway(GatewayConfig(num_workers=1)) as gateway:
+                report = await run_open_loop(
+                    gateway,
+                    poisson_plan(50, rate_rps=10.0, seed=0),
+                    synthetic_gemv_workload(seed=0),
+                    stop=stop,
+                )
+                return report
+
+        report = asyncio.run(scenario())
+        assert report.offered == 0
+        assert report.completed == 0

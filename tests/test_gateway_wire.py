@@ -1,0 +1,154 @@
+"""Unit tests for the gateway wire schema (PR 9).
+
+The wire format crosses a process boundary, so the contract under test
+is defensive bit-exactness: arrays round-trip byte-for-byte through the
+base64+sha256 payload encoding, floats round-trip exactly through JSON,
+and every malformed frame is rejected whole with a
+:class:`~repro.gateway.wire.WireFormatError` before any state is touched.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gateway.wire import (
+    FAULT_MARKERS,
+    GatewayRequest,
+    GatewayResponse,
+    RESPONSE_STATUSES,
+    USAGE_FIELDS,
+    WireFormatError,
+)
+
+SOURCE = "void k(int N, float x[N]) { for (int i = 0; i < N; i++) x[i] += 1.0; }"
+
+
+def make_request(**overrides) -> GatewayRequest:
+    fields = dict(
+        request_id=7,
+        tenant="acme",
+        source=SOURCE,
+        params={"N": 4, "scale": 0.1},
+        arrays={"x": np.arange(4, dtype=np.float32)},
+    )
+    fields.update(overrides)
+    return GatewayRequest(**fields)
+
+
+class TestRequestWire:
+    def test_roundtrip_is_bit_exact(self):
+        rng = np.random.default_rng(3)
+        arrays = {
+            "A": rng.random((5, 3), dtype=np.float32),
+            "x": rng.random(3, dtype=np.float64),
+        }
+        request = make_request(params={"M": 5, "N": 3, "alpha": 0.1 + 0.2}, arrays=arrays)
+        decoded = GatewayRequest.from_json(request.to_json())
+        assert decoded.request_id == 7
+        assert decoded.tenant == "acme"
+        assert decoded.source == SOURCE
+        assert decoded.params == request.params  # floats exact via JSON repr
+        for name, original in arrays.items():
+            copy = decoded.arrays[name]
+            assert copy.dtype == original.dtype
+            assert copy.shape == original.shape
+            assert copy.tobytes() == original.tobytes()
+
+    def test_attempt_and_fault_survive_the_wire(self):
+        for marker in FAULT_MARKERS:
+            decoded = GatewayRequest.from_json(
+                make_request(attempt=3, fault=marker).to_json()
+            )
+            assert decoded.attempt == 3
+            assert decoded.fault == marker
+
+    def test_numpy_scalar_params_become_json_native(self):
+        request = make_request(params={"N": np.int64(4), "a": np.float32(0.5)})
+        wire = json.loads(request.to_json())
+        assert wire["params"] == {"N": 4, "a": 0.5}
+
+    def test_unknown_fault_marker_rejected(self):
+        with pytest.raises(WireFormatError, match="fault marker"):
+            make_request(fault="die-randomly")
+
+    def test_empty_tenant_and_source_rejected(self):
+        with pytest.raises(WireFormatError, match="tenant"):
+            make_request(tenant="")
+        with pytest.raises(WireFormatError, match="source"):
+            make_request(source="   ")
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(WireFormatError, match="corrupt JSON"):
+            GatewayRequest.from_json("{not json")
+
+    def test_missing_field_rejected(self):
+        wire = make_request().to_wire()
+        del wire["tenant"]
+        with pytest.raises(WireFormatError, match="missing field 'tenant'"):
+            GatewayRequest.from_wire(wire)
+
+    def test_tampered_payload_hash_rejected(self):
+        wire = make_request().to_wire()
+        wire["arrays"]["x"]["sha256"] = "0" * 64
+        with pytest.raises(WireFormatError, match="sha256"):
+            GatewayRequest.from_wire(wire)
+
+
+class TestResponseWire:
+    def make_response(self, **overrides) -> GatewayResponse:
+        fields = dict(
+            request_id=7,
+            tenant="acme",
+            status="completed",
+            worker_id=1,
+            result={"y": np.arange(4, dtype=np.float32)},
+            usage={name: 1.0 for name in USAGE_FIELDS},
+            housekeeping_energy_j=[1e-9, 2e-9],
+            physical={"energy_j": 3.5e-8, "macs": 64},
+            compile_hits=1,
+        )
+        fields.update(overrides)
+        return GatewayResponse(**fields)
+
+    def test_roundtrip_is_bit_exact(self):
+        response = self.make_response(
+            usage={name: 0.1 + 0.2 for name in USAGE_FIELDS}
+        )
+        decoded = GatewayResponse.from_json(response.to_json())
+        assert decoded.status == "completed"
+        assert decoded.worker_id == 1
+        assert decoded.usage == response.usage  # exact float equality
+        assert decoded.housekeeping_energy_j == [1e-9, 2e-9]
+        assert decoded.physical == response.physical
+        assert decoded.compile_hits == 1
+        assert (
+            decoded.result["y"].tobytes() == response.result["y"].tobytes()
+        )
+
+    def test_every_status_roundtrips(self):
+        for status in RESPONSE_STATUSES:
+            decoded = GatewayResponse.from_json(
+                self.make_response(status=status, result={}).to_json()
+            )
+            assert decoded.status == status
+
+    def test_unknown_status_rejected(self):
+        with pytest.raises(WireFormatError, match="unknown status"):
+            self.make_response(status="exploded")
+
+    def test_latency_property_needs_both_milestones(self):
+        response = self.make_response()
+        assert response.latency_s is None
+        response.submitted_s = 1.0
+        assert response.latency_s is None
+        response.completed_s = 1.25
+        assert response.latency_s == pytest.approx(0.25)
+
+    def test_milestones_are_gateway_side_only(self):
+        # The worker never ships timestamps; the wire frame has none.
+        wire = self.make_response().to_wire()
+        assert "submitted_s" not in wire
+        assert "completed_s" not in wire

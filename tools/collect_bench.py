@@ -108,6 +108,25 @@ def _headline_fleet(data: dict) -> str:
     return "; ".join(parts) or "no results"
 
 
+def _headline_gateway(data: dict) -> str:
+    p99 = data.get("latency_p99_s")
+    if p99 is None:
+        return "no results"
+    identical = data.get("differential_identical")
+    verdict = (
+        "bit-identical"
+        if identical
+        else ("DIFFERS" if identical is not None else "not run")
+    )
+    return (
+        f"wall-clock pool p99 {p99 * 1e3:.1f} ms over "
+        f"{data.get('requests', '?')} reqs at "
+        f"{data.get('throughput_rps', 0):.0f} rps "
+        f"({data.get('num_workers', '?')} workers); "
+        f"differential vs VirtualClock: {verdict}"
+    )
+
+
 #: benchmark-name -> headline extractor; unknown names fall back to keys.
 HEADLINERS = {
     "engine_speed": _headline_engine_speed,
@@ -116,6 +135,7 @@ HEADLINERS = {
     "pipeline_ablation": _headline_pipelines,
     "serving_throughput": _headline_serving,
     "fleet_failover": _headline_fleet,
+    "gateway_wallclock": _headline_gateway,
 }
 
 
@@ -159,6 +179,18 @@ def _gate_fleet(data: dict) -> dict:
     return metrics
 
 
+def _gate_gateway(data: dict) -> dict:
+    # Latency/throughput are machine-dependent wall-clock numbers, so
+    # the gate keeps only the scale-free correctness metrics: the
+    # differential verdict and the answered fraction, both exactly 1.0.
+    metrics = {}
+    if data.get("differential_identical") is not None:
+        metrics["differential_identical"] = float(data["differential_identical"])
+    if data.get("served_fraction") is not None:
+        metrics["served_fraction"] = data["served_fraction"]
+    return metrics
+
+
 #: benchmark-name -> scale-free gate metrics (higher is better for all).
 #: pipeline_ablation is deliberately absent: its only numbers are
 #: machine-dependent pass wall-times, which would make the gate flaky.
@@ -168,6 +200,7 @@ GATE_METRICS = {
     "multitile_scaling": _gate_multitile,
     "serving_throughput": _gate_serving,
     "fleet_failover": _gate_fleet,
+    "gateway_wallclock": _gate_gateway,
 }
 
 BASELINES_PATH = Path("benchmarks") / "results" / "baselines.json"
