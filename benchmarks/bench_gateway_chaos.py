@@ -1,0 +1,177 @@
+"""Gateway chaos benchmark (PR 10 trajectory point).
+
+Two studies on the self-healing wall-clock gateway:
+
+1. **Seeded storm.**  A ≥1k-request open-loop Poisson run in which a
+   seeded schedule injects hangs, crashes (both kill points), corrupt
+   response frames, slow workers and deadline pressure, with hot spares,
+   budgeted respawns and the hang watchdog enabled.  The invariant suite
+   (:mod:`repro.gateway.chaos`) must hold in full: zero lost requests,
+   an exact accounting partition across every worker incarnation,
+   exactly-once billing, and every completed result bit-identical to a
+   fault-free reference.
+
+2. **Fault-free control.**  The same spec with every fault rate at zero:
+   the resilience layer (watchdog armed, respawn budget available) must
+   change *nothing* when nothing goes wrong — no failures, no sheds, no
+   respawns, every request completed, and the same invariant suite green.
+
+The acceptance gate asserts both studies' invariants, that the storm
+actually injected faults (a storm that injects nothing proves nothing),
+and that the pool healed (respawns/promotions occurred and the pool
+finished with capacity).  Results go to ``BENCH_PR10.json``; wall-clock
+durations are machine-dependent and excluded from the regression gate
+(``tools/collect_bench.py`` gates only the scale-free metrics).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_chaos.py           # full
+    PYTHONPATH=src python benchmarks/bench_gateway_chaos.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+from dataclasses import replace
+from pathlib import Path
+
+from repro.gateway.chaos import ChaosSpec, run_chaos
+
+#: (requests, offered rate) per mode.
+FULL_SETUP = (1200, 250.0)
+SMOKE_SETUP = (200, 200.0)
+
+SEED = 10
+
+
+def storm_spec(num_requests: int, rate_rps: float) -> ChaosSpec:
+    return ChaosSpec(
+        num_requests=num_requests,
+        rate_rps=rate_rps,
+        seed=SEED,
+        num_workers=3,
+        hot_spares=1,
+        max_respawns=16,
+        hang_timeout_s=0.5,
+    )
+
+
+def run_study(label: str, spec: ChaosSpec) -> dict:
+    report = run_chaos(spec)
+    load = report.load
+    resilience = load.snapshot.get("resilience", {})
+    print(
+        f"  {label:<12} {load.offered:>5} offered -> {load.completed} "
+        f"completed, {load.failed} failed, {load.rejected} rejected, "
+        f"{load.deadline_exceeded} deadline-exceeded in "
+        f"{load.duration_s:6.3f} s; "
+        f"faults planned={sum(report.planned_faults.values())}, "
+        f"respawns={resilience.get('respawns', 0)}, "
+        f"hangs={resilience.get('hangs_detected', 0)}, "
+        f"invariants={'ok' if report.ok else 'VIOLATED'}"
+    )
+    for violation in report.violations[:10]:
+        print(f"    violation: {violation}")
+    return report.to_dict()
+
+
+def run_benchmark(smoke: bool = False) -> dict:
+    num_requests, rate_rps = SMOKE_SETUP if smoke else FULL_SETUP
+    print(
+        f"gateway chaos benchmark: {num_requests} requests/study at "
+        f"{rate_rps:g} rps (seed {SEED})"
+    )
+    spec = storm_spec(num_requests, rate_rps)
+    storm = run_study("storm", spec)
+    control = run_study(
+        "control",
+        replace(
+            spec,
+            hang_rate=0.0,
+            crash_rate=0.0,
+            corrupt_rate=0.0,
+            slow_rate=0.0,
+            deadline_rate=0.0,
+            # The control asserts the resilience counters stay at zero,
+            # so the watchdog must stay armed but generous: a slow
+            # first-request compile on a loaded CI machine must not be
+            # misread as a hang.
+            hang_timeout_s=10.0,
+        ),
+    )
+    storm_load = storm["load"]
+    control_load = control["load"]
+    control_resilience = control_load["snapshot"].get("resilience", {})
+    return {
+        "benchmark": "gateway_chaos",
+        "mode": "smoke" if smoke else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "requests": storm_load["offered"],
+        "storm_invariants_ok": float(all(storm["invariants"].values())),
+        "control_invariants_ok": float(all(control["invariants"].values())),
+        "storm_answered_fraction": storm_load["served_fraction"],
+        "control_completed_fraction": (
+            control_load["completed"] / control_load["offered"]
+        ),
+        "control_resilience_quiet": float(
+            not any(control_resilience.values())
+        ),
+        "faults_planned": sum(storm["planned_faults"].values()),
+        "respawns": storm_load["snapshot"]
+        .get("resilience", {})
+        .get("respawns", 0),
+        "storm": storm,
+        "control": control,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true", help="small sizes for CI sanity runs"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_PR10.json"),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args()
+    payload = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.output}")
+
+    failures = []
+    if payload["storm_invariants_ok"] != 1.0:
+        failures.append("storm: resilience invariants violated")
+    if payload["control_invariants_ok"] != 1.0:
+        failures.append("control: invariants violated with no faults")
+    if payload["storm_answered_fraction"] != 1.0:
+        failures.append(
+            f"storm: only {payload['storm_answered_fraction']:.3f} of "
+            "offered requests answered"
+        )
+    if payload["control_completed_fraction"] != 1.0:
+        failures.append(
+            "control: not every request completed on a fault-free run"
+        )
+    if payload["control_resilience_quiet"] != 1.0:
+        failures.append(
+            "control: resilience counters fired with no faults injected"
+        )
+    if payload["faults_planned"] == 0:
+        failures.append("storm: the seeded schedule injected no faults")
+    if payload["respawns"] == 0:
+        failures.append("storm: no respawns occurred (self-healing untested)")
+    assert not failures, "; ".join(failures)
+    print(
+        f"all chaos acceptance checks passed "
+        f"({payload['faults_planned']} faults over {payload['requests']} "
+        f"requests, {payload['respawns']} respawns, invariants green)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@ Subcommands::
     repro serve --scenario fleet_faultstorm --record trace.jsonl
     repro gateway --requests 1000       # wall-clock pool under open-loop load
     repro gateway --diff trace.jsonl    # wall-clock vs VirtualClock, bit-exact
+    repro gateway chaos --requests 1000 # seeded fault storm + invariant suite
     repro bench serving --smoke         # run a benchmark (was PYTHONPATH=src
                                         # python benchmarks/bench_...)
     repro replay trace.jsonl --diff     # re-drive a recorded trace, diff it
@@ -44,6 +45,7 @@ BENCHMARKS = {
     "serving": "bench_serving_throughput.py",
     "fleet": "bench_fleet_failover.py",
     "gateway": "bench_gateway_wallclock.py",
+    "chaos": "bench_gateway_chaos.py",
 }
 
 #: Exit code a benchmark returns to signal "skipped: optional toolchain
@@ -146,6 +148,8 @@ def cmd_gateway(args: argparse.Namespace) -> int:
 
     from repro.gateway.differential import run_differential
 
+    if args.mode == "chaos":
+        return _gateway_chaos(args)
     if args.diff:
         trace = load_trace(args.diff)
         result = run_differential(
@@ -164,6 +168,61 @@ def cmd_gateway(args: argparse.Namespace) -> int:
         )
         return 2
     return asyncio.run(_gateway_loadgen(args))
+
+
+def _gateway_chaos(args: argparse.Namespace) -> int:
+    """``repro gateway chaos``: one seeded fault storm plus the full
+    invariant suite (zero lost requests, exact partition, exactly-once
+    billing, bit-identical results).  Exit 0 iff every invariant held."""
+    from repro.gateway.chaos import ChaosSpec, run_chaos
+
+    spec = ChaosSpec(
+        num_requests=args.requests,
+        seed=args.seed,
+        num_workers=args.workers,
+        hot_spares=args.hot_spares,
+        max_respawns=args.respawns,
+        hang_timeout_s=args.hang_timeout,
+        rate_rps=args.rate,
+        num_tenants=args.tenants,
+    )
+    print(
+        f"[repro gateway] chaos storm: {spec.num_requests} requests "
+        f"(seed {spec.seed}) -> {spec.num_workers} worker(s) + "
+        f"{spec.hot_spares} spare(s), {spec.max_respawns} respawns/slot, "
+        f"watchdog {spec.hang_timeout_s:g}s",
+        flush=True,
+    )
+    report = run_chaos(spec)
+    load = report.load
+    planned = ", ".join(
+        f"{name} x{count}"
+        for name, count in sorted(report.planned_faults.items())
+    ) or "none"
+    print(f"planned faults     {planned}")
+    print(f"planned deadlines  {report.planned_deadlines}")
+    print(
+        f"responses          {load.completed} completed, "
+        f"{load.failed} failed, {load.rejected} rejected, "
+        f"{load.deadline_exceeded} deadline-exceeded "
+        f"({load.offered} offered in {load.duration_s:.3f} s)"
+    )
+    resilience = load.snapshot.get("resilience", {})
+    if resilience:
+        print(
+            "resilience         "
+            + ", ".join(f"{name}={value}" for name, value in resilience.items())
+        )
+    for name, passed in report.invariants.items():
+        print(f"invariant          {name:<24} {'ok' if passed else 'VIOLATED'}")
+    for violation in report.violations[:20]:
+        print(f"  violation: {violation}")
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n"
+        )
+        print(f"\nchaos report -> {args.output}")
+    return 0 if report.ok else 1
 
 
 async def _gateway_loadgen(args: argparse.Namespace) -> int:
@@ -382,7 +441,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     gateway = sub.add_parser(
         "gateway",
-        help="wall-clock process-pool gateway: open-loop load or differential",
+        help="wall-clock process-pool gateway: open-loop load, differential, "
+        "or seeded chaos storm",
+    )
+    gateway.add_argument(
+        "mode",
+        nargs="?",
+        choices=("load", "chaos"),
+        default="load",
+        help="'load' (default): open-loop load generation; 'chaos': seeded "
+        "fault storm with the resilience invariant suite",
     )
     gateway.add_argument(
         "--diff",
@@ -429,6 +497,24 @@ def build_parser() -> argparse.ArgumentParser:
     gateway.add_argument("--seed", type=int, default=0)
     gateway.add_argument(
         "--cache-dir", help="shared on-disk compile-cache directory"
+    )
+    gateway.add_argument(
+        "--hot-spares",
+        type=int,
+        default=1,
+        help="chaos: pre-spawned spare workers promoted on worker death",
+    )
+    gateway.add_argument(
+        "--respawns",
+        type=int,
+        default=16,
+        help="chaos: respawn budget per worker slot",
+    )
+    gateway.add_argument(
+        "--hang-timeout",
+        type=float,
+        default=0.5,
+        help="chaos: watchdog timeout (s) before a worker is declared wedged",
     )
     gateway.add_argument(
         "--output", metavar="PATH", help="write the load report JSON here"

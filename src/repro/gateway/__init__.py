@@ -16,6 +16,14 @@ produces **bit-identical responses and accounting** through wall-clock
 and ``VirtualClock`` modes.  See ``docs/gateway.md``.
 """
 
+from repro.gateway.chaos import (
+    ChaosReport,
+    ChaosSpec,
+    chaos_schedule,
+    chaos_workload,
+    run_chaos,
+    run_chaos_async,
+)
 from repro.gateway.differential import (
     DifferentialResult,
     GatewayDiff,
@@ -43,6 +51,8 @@ from repro.gateway.wire import (
 
 __all__ = [
     "AsyncGateway",
+    "ChaosReport",
+    "ChaosSpec",
     "DifferentialResult",
     "FAULT_MARKERS",
     "GatewayConfig",
@@ -54,10 +64,14 @@ __all__ = [
     "ModeRun",
     "WireFormatError",
     "WorkItem",
+    "chaos_schedule",
+    "chaos_workload",
     "diff_runs",
     "gateway_config_from_trace",
     "gateway_run",
     "reference_run",
+    "run_chaos",
+    "run_chaos_async",
     "run_differential",
     "run_open_loop",
     "synthetic_gemv_workload",

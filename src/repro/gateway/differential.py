@@ -246,6 +246,12 @@ def gateway_config_from_trace(
         compile_options=decode_compile_options(config["compile_options"]),
         cache_dir=cache_dir,
         max_pending=None,  # quotas/backpressure off, like the reference
+        # The resilience layer stays ENABLED under the differential: with
+        # no faults injected the watchdog never fires and no slot ever
+        # respawns, and the diff proves exactly that — resilience changes
+        # nothing when nothing goes wrong.
+        hang_timeout_s=30.0,
+        max_respawns=2,
         scrub_leases=bool(config.get("scrub_leases", True)),
     )
 

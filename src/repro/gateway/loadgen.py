@@ -55,6 +55,12 @@ class WorkItem:
     source: str
     params: Mapping[str, float]
     arrays: Mapping[str, np.ndarray]
+    #: Deterministic fault marker to inject with this request (see
+    #: :data:`repro.gateway.wire.FAULT_MARKERS`; the chaos harness's seam).
+    fault: Optional[str] = None
+    #: Deadline budget in seconds *from submission* (the generator turns
+    #: it into an absolute gateway-clock ``deadline_s`` at fire time).
+    deadline_budget_s: Optional[float] = None
 
 
 def synthetic_gemv_workload(
@@ -120,6 +126,7 @@ class LoadReport:
     completed: int
     failed: int
     rejected: int
+    deadline_exceeded: int
     duration_s: float
     offered_rate_rps: float
     throughput_rps: float
@@ -131,11 +138,18 @@ class LoadReport:
     #: the pool kept up with the offered rate).
     max_schedule_lag_s: float
     snapshot: dict = field(default_factory=dict)
+    #: Full per-request responses, captured only when the caller asked
+    #: for them (``return_responses=True``) — the chaos harness's
+    #: bit-identity currency.  Never serialized (see :meth:`to_dict`).
+    responses: Optional[list] = field(default=None, repr=False)
 
     @property
     def served_fraction(self) -> float:
         """Requests that produced a terminal response (any status)."""
-        total = self.completed + self.failed + self.rejected
+        total = (
+            self.completed + self.failed + self.rejected
+            + self.deadline_exceeded
+        )
         return total / self.offered if self.offered else 0.0
 
     def to_dict(self) -> dict:
@@ -145,6 +159,7 @@ class LoadReport:
             "completed": self.completed,
             "failed": self.failed,
             "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
             "duration_s": self.duration_s,
             "offered_rate_rps": self.offered_rate_rps,
             "throughput_rps": self.throughput_rps,
@@ -164,6 +179,7 @@ async def run_open_loop(
     workload: Workload,
     progress: Optional[Callable[[int, int], None]] = None,
     stop: Optional[asyncio.Event] = None,
+    return_responses: bool = False,
 ) -> LoadReport:
     """Fire *plan* through *gateway*, await every response, measure.
 
@@ -203,9 +219,19 @@ async def run_open_loop(
                 # callbacks (responses, retries) keep flowing.
                 await asyncio.sleep(0)
         item = workload(index)
+        deadline_s = (
+            clock.now_s + item.deadline_budget_s
+            if item.deadline_budget_s is not None
+            else None
+        )
         futures.append(
             gateway.submit_nowait(
-                item.tenant, item.source, item.params, item.arrays
+                item.tenant,
+                item.source,
+                item.params,
+                item.arrays,
+                fault=item.fault,
+                deadline_s=deadline_s,
             )
         )
         if progress is not None and (index + 1) % 1000 == 0:
@@ -215,6 +241,9 @@ async def run_open_loop(
     completed = [r for r in responses if r.status == "completed"]
     failed = sum(1 for r in responses if r.status == "failed")
     rejected = sum(1 for r in responses if r.status == "rejected")
+    deadline_exceeded = sum(
+        1 for r in responses if r.status == "deadline-exceeded"
+    )
     latencies = [r.latency_s for r in completed if r.latency_s is not None]
     return LoadReport(
         plan_kind=plan.kind,
@@ -222,6 +251,7 @@ async def run_open_loop(
         completed=len(completed),
         failed=failed,
         rejected=rejected,
+        deadline_exceeded=deadline_exceeded,
         duration_s=duration_s,
         offered_rate_rps=plan.mean_rate_rps,
         throughput_rps=len(completed) / duration_s if duration_s > 0 else 0.0,
@@ -231,4 +261,5 @@ async def run_open_loop(
         latency_max_s=max(latencies) if latencies else 0.0,
         max_schedule_lag_s=max_lag_s,
         snapshot=gateway.snapshot(),
+        responses=responses if return_responses else None,
     )

@@ -26,6 +26,7 @@ one marker means exactly one worker death.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -39,8 +40,53 @@ from repro.trace.schema import TraceFormatError, decode_array, encode_array
 #:   happens (a kill while the request sat at the head of its queue);
 #: * ``die-mid-request`` — the worker performs the full dispatch (the
 #:   device physically works) and exits before the response leaves the
-#:   process (a kill mid-request: the computed outputs are lost).
-FAULT_MARKERS = ("die-before-dispatch", "die-mid-request")
+#:   process (a kill mid-request: the computed outputs are lost);
+#: * ``hang`` — the worker wedges before any work happens and never
+#:   answers (the shape the gateway's hang watchdog must catch);
+#: * ``slow`` / ``slow:<seconds>`` — the worker stalls for
+#:   :data:`SLOW_FAULT_DELAY_S` (or the given delay) and then serves the
+#:   request normally (deadline pressure without losing work);
+#: * ``corrupt-frame`` — the worker serves the request and then ships a
+#:   deliberately mangled response frame (undecodable JSON), the
+#:   byzantine shape the gateway's defensive collector must absorb.
+FAULT_MARKERS = (
+    "die-before-dispatch",
+    "die-mid-request",
+    "hang",
+    "slow",
+    "corrupt-frame",
+)
+
+#: Default stall of a plain ``slow`` fault marker (seconds).
+SLOW_FAULT_DELAY_S = 0.25
+
+
+def validate_fault_marker(fault: Optional[str]) -> None:
+    """Raise :class:`WireFormatError` for an unknown fault marker
+    (``None``, a known marker, or ``slow:<seconds>`` are accepted)."""
+    if fault is None or fault in FAULT_MARKERS:
+        return
+    if fault.startswith("slow:"):
+        try:
+            delay_s = float(fault[len("slow:"):])
+        except ValueError:
+            delay_s = -1.0
+        if delay_s >= 0.0:
+            return
+    raise WireFormatError(
+        f"request: unknown fault marker {fault!r} (known: {FAULT_MARKERS}, "
+        "or 'slow:<seconds>')"
+    )
+
+
+def slow_fault_delay_s(fault: Optional[str]) -> Optional[float]:
+    """The stall a ``slow`` fault marker requests, or ``None`` for other
+    markers."""
+    if fault == "slow":
+        return SLOW_FAULT_DELAY_S
+    if fault is not None and fault.startswith("slow:"):
+        return float(fault[len("slow:"):])
+    return None
 
 #: Exit code a worker uses for injected deaths (mirrors SIGKILL's 128+9).
 FAULT_EXIT_CODE = 137
@@ -86,17 +132,25 @@ class GatewayRequest:
     attempt: int = 1
     #: Deterministic fault-injection marker (see :data:`FAULT_MARKERS`).
     fault: Optional[str] = None
+    #: Absolute gateway-clock deadline (seconds on the gateway's
+    #: ``WallClock``; ``None`` = no deadline).  The gateway sheds the
+    #: request if the deadline passes before dispatch and fails it with
+    #: status ``deadline-exceeded`` if it expires in flight.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if not self.tenant:
             raise WireFormatError("request: tenant name must be non-empty")
         if not isinstance(self.source, str) or not self.source.strip():
             raise WireFormatError("request: kernel source must be a non-empty string")
-        if self.fault is not None and self.fault not in FAULT_MARKERS:
-            raise WireFormatError(
-                f"request: unknown fault marker {self.fault!r} "
-                f"(known: {FAULT_MARKERS})"
-            )
+        validate_fault_marker(self.fault)
+        if self.deadline_s is not None:
+            deadline_s = float(self.deadline_s)
+            if not math.isfinite(deadline_s):
+                raise WireFormatError(
+                    f"request: deadline_s must be finite, got {self.deadline_s!r}"
+                )
+            self.deadline_s = deadline_s
 
     # -- wire codec -----------------------------------------------------
     def to_wire(self) -> dict:
@@ -111,6 +165,7 @@ class GatewayRequest:
             },
             "attempt": self.attempt,
             "fault": self.fault,
+            "deadline_s": self.deadline_s,
         }
 
     def to_json(self) -> str:
@@ -128,6 +183,7 @@ class GatewayRequest:
             arrays=_decode_payloads(_require(wire, "arrays", "request"), "request"),
             attempt=int(wire.get("attempt", 1)),
             fault=wire.get("fault"),
+            deadline_s=wire.get("deadline_s"),
         )
 
     @classmethod
@@ -140,8 +196,10 @@ class GatewayRequest:
 
 
 # ----------------------------------------------------------------------
-#: Terminal statuses a response may carry (the serving tier's vocabulary).
-RESPONSE_STATUSES = ("completed", "failed", "rejected")
+#: Terminal statuses a response may carry: the serving tier's vocabulary
+#: plus ``deadline-exceeded`` (the request's deadline passed before
+#: dispatch, or expired while it was in flight).
+RESPONSE_STATUSES = ("completed", "failed", "rejected", "deadline-exceeded")
 
 #: Per-request measured-usage counters shipped back over the wire.  These
 #: are exactly the billing fields of

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import math
 import os
+import time
 from typing import Optional
 
 from repro.gateway.wire import (
@@ -43,6 +44,7 @@ from repro.gateway.wire import (
     GatewayResponse,
     USAGE_FIELDS,
     WireFormatError,
+    slow_fault_delay_s,
 )
 
 #: Queue frames (gateway -> worker).
@@ -205,6 +207,18 @@ def serve_one(server, request: GatewayRequest, worker_id: int) -> GatewayRespons
     )
 
 
+def _crash(response_queue) -> None:
+    """Abrupt process death for the crash fault markers — but only after
+    the response queue's feeder thread has flushed.  ``os._exit`` while
+    the feeder holds the queue's *shared* write lock would leave that
+    cross-process lock permanently held, wedging every surviving worker's
+    next ``put``; close + join guarantees the feeder is done before the
+    process dies, without shipping anything new."""
+    response_queue.close()
+    response_queue.join_thread()
+    os._exit(FAULT_EXIT_CODE)
+
+
 def worker_main(worker_id: int, config: dict, request_queue, response_queue) -> None:
     """Pool worker entry point (top-level so it spawns on any platform).
 
@@ -234,7 +248,20 @@ def worker_main(worker_id: int, config: dict, request_queue, response_queue) -> 
                 response_queue.put(("dead-letter", worker_id, str(exc)))
                 continue
             if request.fault == "die-before-dispatch":
-                os._exit(FAULT_EXIT_CODE)
+                _crash(response_queue)
+            if request.fault == "hang":
+                # Wedge forever without doing any work: the process stays
+                # alive but never answers, which is exactly the shape the
+                # gateway's hang watchdog must detect and SIGKILL.  No
+                # work happened, so the zero-work crash compensation the
+                # gateway records is physically exact.
+                while True:
+                    time.sleep(3600.0)
+            slow_s = slow_fault_delay_s(request.fault)
+            if slow_s is not None:
+                # Stall, then serve normally: the request loses wall time
+                # (deadline pressure) but no physical work.
+                time.sleep(slow_s)
             response = serve_one(server, request, worker_id)
             physical.fold(server.system.accelerator)
             if request.fault == "die-mid-request":
@@ -243,8 +270,17 @@ def worker_main(worker_id: int, config: dict, request_queue, response_queue) -> 
                 # response escapes: the work is genuinely lost, which is
                 # exactly the window the gateway's crash recovery and
                 # FaultCompensation accounting must cover.
-                os._exit(FAULT_EXIT_CODE)
+                _crash(response_queue)
             response.physical = physical.snapshot()
-            response_queue.put((RESPONSE_FRAME, worker_id, response.to_json()))
+            payload = response.to_json()
+            if request.fault == "corrupt-frame":
+                # Byzantine worker: the device worked, but the frame that
+                # leaves the process is garbage (truncated JSON).  The
+                # gateway must fail only this request with a typed reason
+                # and kill this process — its in-process ledgers now hold
+                # work no decodable snapshot will ever account for, so
+                # letting it live would break the partition.
+                payload = payload[: len(payload) // 2]
+            response_queue.put((RESPONSE_FRAME, worker_id, payload))
     finally:
         server.shutdown()

@@ -62,6 +62,15 @@ class MetricsRegistry:
         self.faults_by_op: dict[str, int] = {}
         self.faults_recovered = 0
         self.faults_unrecovered = 0
+        # Gateway resilience (populated only by the wall-clock tier).
+        self.hangs_detected = 0
+        self.respawns = 0
+        self.spares_promoted = 0
+        self.slots_quarantined = 0
+        self.deadline_shed = 0
+        self.deadline_expired = 0
+        self.corrupt_frames = 0
+        self.late_frames_ignored = 0
 
     # ------------------------------------------------------------------
     # Observations pushed by the server
@@ -127,6 +136,41 @@ class MetricsRegistry:
         self.compile_cache_misses += misses_delta
 
     # ------------------------------------------------------------------
+    # Gateway-resilience observations (wall-clock tier only)
+    # ------------------------------------------------------------------
+    def observe_hang_detected(self) -> None:
+        """The watchdog declared a worker wedged and killed it."""
+        self.hangs_detected += 1
+
+    def observe_respawn(self) -> None:
+        """A dead worker slot was refilled with a fresh process."""
+        self.respawns += 1
+
+    def observe_spare_promoted(self) -> None:
+        """A pre-spawned hot spare took over a dead worker's slot."""
+        self.spares_promoted += 1
+
+    def observe_slot_quarantined(self) -> None:
+        """A crash-looping worker slot exhausted its respawn budget."""
+        self.slots_quarantined += 1
+
+    def observe_deadline_shed(self) -> None:
+        """A request's deadline passed before dispatch (never ran)."""
+        self.deadline_shed += 1
+
+    def observe_deadline_expired(self) -> None:
+        """A request's deadline expired while it was in flight."""
+        self.deadline_expired += 1
+
+    def observe_corrupt_frame(self) -> None:
+        """A worker shipped an undecodable response frame."""
+        self.corrupt_frames += 1
+
+    def observe_late_frame(self) -> None:
+        """A response frame arrived from a worker already declared dead."""
+        self.late_frames_ignored += 1
+
+    # ------------------------------------------------------------------
     @property
     def mean_batch_occupancy(self) -> float:
         """Mean requests per dispatch batch (1.0 = no coalescing)."""
@@ -189,6 +233,20 @@ class MetricsRegistry:
                 "faults_recovered": self.faults_recovered,
                 "faults_unrecovered": self.faults_unrecovered,
             }
+        resilience = {
+            "hangs_detected": self.hangs_detected,
+            "respawns": self.respawns,
+            "spares_promoted": self.spares_promoted,
+            "slots_quarantined": self.slots_quarantined,
+            "deadline_shed": self.deadline_shed,
+            "deadline_expired": self.deadline_expired,
+            "corrupt_frames": self.corrupt_frames,
+            "late_frames_ignored": self.late_frames_ignored,
+        }
+        if any(resilience.values()):
+            # Only when something fired: the simulated tiers never touch
+            # these counters and their golden snapshots must stay stable.
+            snap["resilience"] = resilience
         if self.latencies_s:
             snap["latency_s"] = {
                 "p50": self.latency_percentile_s(50),

@@ -1,0 +1,121 @@
+"""Tests for the seeded chaos harness (PR 10).
+
+A real (small) storm through real worker processes, plus the pure
+scheduling pieces.  The CI ``gateway-chaos`` job runs the ≥1k-request
+storm through ``repro gateway chaos``; here the counts stay small.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gateway.chaos import (
+    ChaosSpec,
+    chaos_schedule,
+    chaos_workload,
+    run_chaos,
+)
+
+
+class TestSchedule:
+    def test_schedule_is_deterministic_in_the_seed(self):
+        spec = ChaosSpec(num_requests=200, seed=42)
+        assert chaos_schedule(spec) == chaos_schedule(spec)
+        assert chaos_schedule(spec) != chaos_schedule(
+            ChaosSpec(num_requests=200, seed=43)
+        )
+
+    def test_schedule_respects_rates(self):
+        spec = ChaosSpec(
+            num_requests=500,
+            seed=1,
+            hang_rate=0.0,
+            crash_rate=0.0,
+            corrupt_rate=0.0,
+            slow_rate=0.0,
+            deadline_rate=1.0,
+        )
+        schedule = chaos_schedule(spec)
+        assert all(fault is None for fault, _ in schedule)
+        assert all(deadline is not None for _, deadline in schedule)
+
+    def test_workload_decorates_the_gemv_bank(self):
+        spec = ChaosSpec(
+            num_requests=50,
+            seed=2,
+            crash_rate=1.0,
+            hang_rate=0.0,
+            corrupt_rate=0.0,
+            slow_rate=0.0,
+        )
+        workload = chaos_workload(spec)
+        item = workload(0)
+        assert item.fault in ("die-before-dispatch", "die-mid-request")
+        assert item.tenant.startswith("tenant-")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="num_requests"):
+            ChaosSpec(num_requests=0)
+        with pytest.raises(ValueError, match="rates"):
+            ChaosSpec(crash_rate=0.9, slow_rate=0.9)
+
+
+class TestStorm:
+    def test_small_storm_upholds_every_invariant(self):
+        """The PR's acceptance shape in miniature: hangs, both crash
+        points, corrupt frames, slow workers and deadline pressure, with
+        respawn and a hot spare enabled — all four invariants must hold."""
+        spec = ChaosSpec(
+            num_requests=120,
+            rate_rps=150.0,
+            seed=7,
+            num_workers=2,
+            hot_spares=1,
+            max_respawns=8,
+            hang_timeout_s=0.3,
+            hang_rate=0.02,
+            crash_rate=0.04,
+            corrupt_rate=0.02,
+            slow_rate=0.02,
+            deadline_rate=0.08,
+        )
+        report = run_chaos(spec)
+        assert report.ok, report.violations
+        assert report.invariants == {
+            "zero_lost": True,
+            "partition_exact": True,
+            "exactly_once_billing": True,
+            "bit_identical_results": True,
+        }
+        # The storm actually stormed and the pool actually healed.
+        assert sum(report.planned_faults.values()) > 0
+        resilience = report.load.snapshot.get("resilience", {})
+        assert resilience.get("respawns", 0) > 0
+        assert report.load.served_fraction == 1.0
+
+    def test_fault_free_storm_is_quiet(self):
+        """With every rate at zero the resilience layer (armed watchdog,
+        respawn budget, spare) must change nothing: all completed, no
+        resilience counter fires."""
+        spec = ChaosSpec(
+            num_requests=30,
+            rate_rps=200.0,
+            seed=9,
+            num_workers=2,
+            hot_spares=1,
+            max_respawns=4,
+            # Armed but generous: a tight watchdog can misread a slow
+            # first-request compile on a loaded machine as a hang, and
+            # this test asserts that *no* resilience counter fires.
+            hang_timeout_s=10.0,
+            hang_rate=0.0,
+            crash_rate=0.0,
+            corrupt_rate=0.0,
+            slow_rate=0.0,
+            deadline_rate=0.0,
+        )
+        report = run_chaos(spec)
+        assert report.ok, report.violations
+        assert report.load.completed == 30
+        assert report.load.failed == 0
+        assert "resilience" not in report.load.snapshot

@@ -127,6 +127,23 @@ def _headline_gateway(data: dict) -> str:
     )
 
 
+def _headline_gateway_chaos(data: dict) -> str:
+    faults = data.get("faults_planned")
+    if faults is None:
+        return "no results"
+    ok = (
+        data.get("storm_invariants_ok") == 1.0
+        and data.get("control_invariants_ok") == 1.0
+    )
+    return (
+        f"seeded chaos storm: {faults} faults over "
+        f"{data.get('requests', '?')} reqs, "
+        f"{data.get('respawns', 0)} respawns; invariants "
+        f"{'all green' if ok else 'VIOLATED'} "
+        "(zero lost, exact partition, exactly-once, bit-identical)"
+    )
+
+
 #: benchmark-name -> headline extractor; unknown names fall back to keys.
 HEADLINERS = {
     "engine_speed": _headline_engine_speed,
@@ -136,6 +153,7 @@ HEADLINERS = {
     "serving_throughput": _headline_serving,
     "fleet_failover": _headline_fleet,
     "gateway_wallclock": _headline_gateway,
+    "gateway_chaos": _headline_gateway_chaos,
 }
 
 
@@ -191,6 +209,22 @@ def _gate_gateway(data: dict) -> dict:
     return metrics
 
 
+def _gate_gateway_chaos(data: dict) -> dict:
+    # All scale-free, all exactly 1.0 by construction: invariant suites
+    # and answered fractions, never wall-clock durations.
+    metrics = {}
+    for name in (
+        "storm_invariants_ok",
+        "control_invariants_ok",
+        "storm_answered_fraction",
+        "control_completed_fraction",
+        "control_resilience_quiet",
+    ):
+        if data.get(name) is not None:
+            metrics[name] = float(data[name])
+    return metrics
+
+
 #: benchmark-name -> scale-free gate metrics (higher is better for all).
 #: pipeline_ablation is deliberately absent: its only numbers are
 #: machine-dependent pass wall-times, which would make the gate flaky.
@@ -201,6 +235,7 @@ GATE_METRICS = {
     "serving_throughput": _gate_serving,
     "fleet_failover": _gate_fleet,
     "gateway_wallclock": _gate_gateway,
+    "gateway_chaos": _gate_gateway_chaos,
 }
 
 BASELINES_PATH = Path("benchmarks") / "results" / "baselines.json"
